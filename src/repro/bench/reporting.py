@@ -1,0 +1,65 @@
+"""Table rendering for the experiment harness.
+
+Each figure function in :mod:`repro.bench.experiments` produces rows of
+``dict``; this module renders them as fixed-width text (for terminal and
+bench logs) and as markdown (for EXPERIMENTS.md), with the paper's
+reference numbers side by side where available.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_table", "render_markdown", "format_value"]
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _normalise(rows: Sequence[Mapping[str, object]],
+               columns: Sequence[str] | None) -> tuple[list[str], list[list[str]]]:
+    if not rows:
+        return list(columns or []), []
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    table = [[format_value(row.get(c, "")) for c in cols] for row in rows]
+    return cols, table
+
+
+def render_table(title: str, rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str] | None = None) -> str:
+    """Fixed-width table with a title rule."""
+    cols, table = _normalise(rows, columns)
+    widths = [len(c) for c in cols]
+    for line in table:
+        for i, cell in enumerate(line):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    body = "\n".join(
+        " | ".join(cell.ljust(w) for cell, w in zip(line, widths))
+        for line in table
+    )
+    rule = "=" * max(len(header), len(title))
+    return f"{title}\n{rule}\n{header}\n{sep}\n{body}\n"
+
+
+def render_markdown(title: str, rows: Sequence[Mapping[str, object]],
+                    columns: Sequence[str] | None = None) -> str:
+    """GitHub-flavoured markdown table."""
+    cols, table = _normalise(rows, columns)
+    lines = [f"### {title}", ""]
+    lines.append("| " + " | ".join(cols) + " |")
+    lines.append("|" + "|".join("---" for _ in cols) + "|")
+    for line in table:
+        lines.append("| " + " | ".join(line) + " |")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Cache entries: a previous query, its frozen answer, and its validity.
+
+Per the paper (§5.2.2): *"once a query is executed, its answer set is
+finalized, which snapshots the query's relation against dataset at the
+execution time — even [if] the dataset would undergo changes later, GC+
+will not repeat processing previous queries. Therefore, to deal with
+dataset changes, GC+ employs a BitSet indicator ``CGvalid`` per cached
+query, with each bit identifying the up-to-date validity of the query's
+relation towards a dataset graph."*
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.graphs.features import GraphFeatures
+from repro.graphs.graph import LabeledGraph
+from repro.util.bitset import BitSet
+
+__all__ = ["QueryType", "CacheEntry"]
+
+
+class QueryType(enum.Enum):
+    """The two graph-pattern query semantics of the paper (§3).
+
+    A *subgraph* query returns dataset graphs that **contain** the query;
+    a *supergraph* query returns dataset graphs **contained in** it.  A
+    cache serves one workload type at a time (as in the paper's
+    evaluation); the entry records which semantics its ``Answer`` bits
+    carry because the validity rules (Algorithm 2) and pruning formulas
+    invert between the two.
+    """
+
+    SUBGRAPH = "subgraph"
+    SUPERGRAPH = "supergraph"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class CacheEntry:
+    """One cached query.
+
+    * ``answer`` — bit *i* set iff dataset graph *i* satisfied the query
+      at execution time (``g ⊆ G_i`` for subgraph semantics, ``G_i ⊆ g``
+      for supergraph semantics).  **Never mutated after creation.**
+    * ``valid`` — the ``CGvalid`` indicator: bit *i* set iff the recorded
+      relation toward graph *i* is still guaranteed for the up-to-date
+      dataset.  Initialised to the ids of all dataset graphs live at
+      execution time; refreshed by the Cache Validator.
+    * ``features`` — precomputed monotone features for the query index.
+    """
+
+    entry_id: int
+    query: LabeledGraph
+    query_type: QueryType
+    answer: BitSet
+    valid: BitSet
+    created_at: int  # index of the query in the stream (for recency)
+    features: GraphFeatures = field(init=False)
+    num_vertices: int = field(init=False)
+    num_edges: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.query = self.query.copy()  # decouple from caller mutation
+        self.features = GraphFeatures.of(self.query)
+        self.num_vertices = self.query.num_vertices
+        self.num_edges = self.query.num_edges
+
+    # ------------------------------------------------------------------
+    # Pruning building blocks (paper §6)
+    # ------------------------------------------------------------------
+    def valid_answer(self) -> BitSet:
+        """``CGvalid ∩ Answer`` — the test-free positives of formula (1)."""
+        return self.valid & self.answer
+
+    def possible_answer(self, universe_size: int) -> BitSet:
+        """``¬CGvalid ∪ Answer`` over ``universe_size`` ids — formula (4):
+        every graph that could possibly satisfy a query related to this
+        entry; its complement is safely prunable."""
+        return self.valid.complement(universe_size) | self.answer
+
+    def fully_valid(self, current_ids: BitSet) -> bool:
+        """Does the entry hold validity on *all* up-to-date dataset graphs?
+
+        Required by both §6.3 optimal cases.
+        """
+        return self.valid.contains_all(current_ids)
+
+    def is_exact_match_of(self, query: LabeledGraph) -> bool:
+        """Size part of the §6.3 exact-match test: equal vertex and edge
+        counts.  Combined with a verified containment in either direction
+        this implies isomorphism (an injective embedding between
+        equal-sized graphs is a bijection preserving all edges)."""
+        return (self.num_vertices == query.num_vertices
+                and self.num_edges == query.num_edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheEntry(id={self.entry_id}, |V|={self.num_vertices}, "
+            f"|E|={self.num_edges}, answers={self.answer.cardinality()}, "
+            f"valid={self.valid.cardinality()})"
+        )

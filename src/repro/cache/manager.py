@@ -1,0 +1,192 @@
+"""Cache Manager — the orchestrating facade of the cache subsystem.
+
+Responsibilities (paper §4):
+
+* own the cache store (capacity 100 by default) and the window (20);
+* expose all hit-eligible entries (cache ∪ window) through the query
+  index;
+* run the consistency protocol on query arrival: if the dataset log moved
+  past the reflected-up-to cursor, either purge (EVI) or analyze +
+  validate (CON);
+* perform admission control and replacement when the window promotes a
+  batch;
+* keep per-entry benefit statistics for the replacement policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.entry import CacheEntry, QueryType
+from repro.cache.models import CacheModel
+from repro.cache.query_index import QueryIndex
+from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.statistics import StatisticsManager
+from repro.cache.validator import CacheValidator
+from repro.cache.window import WindowManager
+from repro.dataset.log_analyzer import analyze_log
+from repro.dataset.store import GraphStore
+from repro.graphs.graph import LabeledGraph
+from repro.util.bitset import BitSet
+from repro.util.timing import Stopwatch
+
+__all__ = ["CacheManager", "ConsistencyReport"]
+
+DEFAULT_CACHE_CAPACITY = 100  # paper §7.1
+DEFAULT_WINDOW_CAPACITY = 20  # paper §7.1
+
+
+@dataclass(frozen=True)
+class ConsistencyReport:
+    """What one consistency pass did (for the overhead breakdown)."""
+
+    dataset_changed: bool
+    purged: bool                 # EVI cleared the cache
+    entries_validated: int       # CON entries refreshed
+    analyze_seconds: float       # Algorithm 1 time
+    validate_seconds: float      # Algorithm 2 time (all entries)
+
+
+class CacheManager:
+    """The GC+ Cache Manager subsystem."""
+
+    def __init__(self, model: CacheModel = CacheModel.CON,
+                 query_type: QueryType = QueryType.SUBGRAPH,
+                 capacity: int = DEFAULT_CACHE_CAPACITY,
+                 window_capacity: int = DEFAULT_WINDOW_CAPACITY,
+                 policy: ReplacementPolicy | str = "hd") -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be positive, got {capacity}")
+        self.model = model
+        self.query_type = query_type
+        self.capacity = capacity
+        self.policy = make_policy(policy) if isinstance(policy, str) else policy
+        self.window = WindowManager(window_capacity)
+        self.statistics = StatisticsManager()
+        self.validator = CacheValidator()
+        self.index = QueryIndex()
+        self._cache: dict[int, CacheEntry] = {}
+        self._next_entry_id = 0
+        self._log_cursor = 0
+        # Instrumentation for Figure 6's overhead breakdown.
+        self.evictions = 0
+        self.admissions = 0
+
+    # ------------------------------------------------------------------
+    # Consistency protocol (paper §5) — run on every query arrival
+    # ------------------------------------------------------------------
+    def ensure_consistency(self, store: GraphStore) -> ConsistencyReport:
+        """Reflect any unprocessed dataset changes into the cache.
+
+        EVI: indiscriminate purge.  CON: Algorithm 1 (log analysis) +
+        Algorithm 2 (validity refresh on every cache/window entry).
+        """
+        if store.log.last_seq <= self._log_cursor:
+            return ConsistencyReport(False, False, 0, 0.0, 0.0)
+
+        if self.model is CacheModel.EVI:
+            sw = Stopwatch()
+            with sw:
+                self.validator.purge_evi(self.clear)
+                self._log_cursor = store.log.last_seq
+            return ConsistencyReport(True, True, 0, 0.0, sw.elapsed)
+
+        analyze_sw = Stopwatch()
+        with analyze_sw:
+            counters, self._log_cursor = analyze_log(store.log, self._log_cursor)
+        entries = self.all_entries()
+        validate_sw = Stopwatch()
+        with validate_sw:
+            self.validator.validate_con(entries, counters, store.max_id)
+        return ConsistencyReport(
+            dataset_changed=True,
+            purged=False,
+            entries_validated=len(entries),
+            analyze_seconds=analyze_sw.elapsed,
+            validate_seconds=validate_sw.elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def all_entries(self) -> list[CacheEntry]:
+        """Hit-eligible entries: cache ∪ window (paper §4)."""
+        return list(self._cache.values()) + self.window.entries()
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    @property
+    def window_size(self) -> int:
+        return len(self.window)
+
+    # ------------------------------------------------------------------
+    # Admission (paper §4: executed queries enter the window, batches
+    # promote to the cache, replacement trims to capacity)
+    # ------------------------------------------------------------------
+    def admit(self, query: LabeledGraph, answer: BitSet,
+              store: GraphStore, query_index: int) -> CacheEntry:
+        """Create an entry for an executed query and admit it.
+
+        ``answer`` is snapshot semantics (frozen); ``CGvalid`` starts as
+        the set of all currently live dataset ids — the entry "holds
+        validity towards its relation with all graphs in current dataset"
+        (paper §5.2, Figure 2).
+        """
+        entry = CacheEntry(
+            entry_id=self._next_entry_id,
+            query=query,
+            query_type=self.query_type,
+            answer=answer.copy(),
+            valid=store.ids_bitset(),
+            created_at=query_index,
+        )
+        self._next_entry_id += 1
+        self.statistics.register(entry.entry_id, query_index)
+        self.index.add(entry)
+        self.admissions += 1
+        promoted = self.window.add(entry)
+        if promoted is not None:
+            self._promote(promoted)
+        return entry
+
+    def _promote(self, batch: list[CacheEntry]) -> None:
+        """Merge a full window batch into the cache and evict down to
+        capacity using the replacement policy."""
+        for entry in batch:
+            self._cache[entry.entry_id] = entry
+        population = list(self._cache.values())
+        victims = self.policy.select_victims(
+            population, self.statistics, self.capacity
+        )
+        for victim in victims:
+            del self._cache[victim.entry_id]
+            self.index.remove(victim.entry_id)
+            self.statistics.forget(victim.entry_id)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Benefit crediting (feeds PIN/PINC/HD)
+    # ------------------------------------------------------------------
+    def credit(self, entry_id: int, tests_saved: int, cost_saved: float,
+               query_index: int) -> None:
+        if entry_id in self.statistics:
+            self.statistics.credit(entry_id, tests_saved, cost_saved,
+                                   query_index)
+
+    # ------------------------------------------------------------------
+    # Purge (EVI, or manual reset)
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._cache.clear()
+        self.window.clear()
+        self.index.clear()
+        self.statistics.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheManager(model={self.model}, cache={len(self._cache)}/"
+            f"{self.capacity}, window={len(self.window)}/"
+            f"{self.window.capacity}, policy={self.policy.name})"
+        )

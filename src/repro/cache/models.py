@@ -1,0 +1,27 @@
+"""The two GC+ cache-consistency models (paper §5)."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["CacheModel"]
+
+
+class CacheModel(enum.Enum):
+    """How the cache reacts to dataset changes.
+
+    * ``EVI`` — *evict*: any dataset change indiscriminately clears the
+      whole cache and window (§5.1).  Trivially consistent; the cache
+      re-warms from scratch after every change.
+    * ``CON`` — *consistent*: per cached query, a ``CGvalid`` bit vector
+      tracks which (query, dataset-graph) relations are still trustworthy;
+      the Log Analyzer + Cache Validator (Algorithms 1 and 2) refresh the
+      bits incrementally, keeping every still-valid cached result usable
+      (§5.2).
+    """
+
+    EVI = "EVI"
+    CON = "CON"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,67 @@
+"""Feature-based index over cached queries — the iGQ substrate ([25]).
+
+When a query ``g`` arrives, the GC+sub / GC+super processors must find
+cached queries ``g'`` with ``g ⊆ g'`` and ``g'' ⊆ g``.  Testing all
+cached queries with a sub-iso verifier would itself be costly, so —
+following the authors' earlier "indexing query graphs" work — the index
+keeps monotone features per cached query and filters impossible
+directions before verification:
+
+* ``g ⊆ g'`` requires ``features(g) ≤ features(g')`` componentwise;
+* ``g'' ⊆ g`` requires ``features(g'') ≤ features(g)``.
+
+Filtering is *complete* (never discards a true containment — guaranteed
+by :class:`repro.graphs.features.GraphFeatures` and property-tested), so
+GC+ misses no hits; verification of survivors is exact.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry
+from repro.graphs.features import GraphFeatures
+
+__all__ = ["QueryIndex"]
+
+
+class QueryIndex:
+    """Containment-direction prefilter over the cache + window entries."""
+
+    def __init__(self) -> None:
+        self._entries: dict[int, CacheEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Maintenance (called by the Cache Manager on admit/evict/purge)
+    # ------------------------------------------------------------------
+    def add(self, entry: CacheEntry) -> None:
+        self._entries[entry.entry_id] = entry
+
+    def remove(self, entry_id: int) -> None:
+        self._entries.pop(entry_id, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def candidate_supergraphs(self, features: GraphFeatures) -> list[CacheEntry]:
+        """Entries whose query might *contain* the new query
+        (``g ⊆ g'`` candidates — the GC+sub processor's pool)."""
+        return [
+            e for e in self._entries.values()
+            if features.may_be_subgraph_of(e.features)
+        ]
+
+    def candidate_subgraphs(self, features: GraphFeatures) -> list[CacheEntry]:
+        """Entries whose query might be *contained in* the new query
+        (``g'' ⊆ g`` candidates — the GC+super processor's pool)."""
+        return [
+            e for e in self._entries.values()
+            if e.features.may_be_subgraph_of(features)
+        ]

@@ -1,0 +1,157 @@
+"""Cache replacement policies (paper §7.1, inherited from GC).
+
+GC+ "incorporates all the replacement policies developed in GC".  The
+paper's experiments use **HD**, which coalesces two GC/GC+-exclusive
+policies:
+
+* **PIN** scores each cached graph by ``R`` — the total number of sub-iso
+  tests it has alleviated;
+* **PINC** extends the ranking with the estimated cost of those tests,
+  scoring by ``C`` (see :mod:`repro.cache.statistics`);
+* **HD** inspects the variability of the R distribution via the squared
+  coefficient of variation: ``CoV² > 1`` (high variance — R values are
+  discriminative on their own) → PIN's scoring; otherwise → PINC's.
+
+LRU and LFU are the classic baselines GC compared against; they are
+included for the ablation benchmarks.
+
+A policy ranks the combined cache+promoted population; the manager evicts
+the lowest-scored entries until the capacity holds.  Ties break toward
+evicting *older* entries (stale queries leave first), matching intuition
+and making runs deterministic.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.cache.entry import CacheEntry
+from repro.cache.statistics import StatisticsManager
+from repro.util.stats import coefficient_of_variation_squared
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "LFUPolicy",
+    "PINPolicy",
+    "PINCPolicy",
+    "HybridPolicy",
+    "make_policy",
+    "POLICIES",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Strategy interface: order entries by eviction preference."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def score(self, entry: CacheEntry, stats: StatisticsManager) -> float:
+        """Higher score = more worth keeping."""
+
+    def select_victims(self, entries: list[CacheEntry],
+                       stats: StatisticsManager,
+                       capacity: int) -> list[CacheEntry]:
+        """Entries to evict so that at most ``capacity`` remain."""
+        overflow = len(entries) - capacity
+        if overflow <= 0:
+            return []
+        ranked = sorted(
+            entries,
+            key=lambda e: (self.score(e, stats), e.created_at, e.entry_id),
+        )
+        return ranked[:overflow]
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently *useful* entry."""
+
+    name = "lru"
+
+    def score(self, entry: CacheEntry, stats: StatisticsManager) -> float:
+        return float(stats.get(entry.entry_id).last_used)
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the least frequently useful entry."""
+
+    name = "lfu"
+
+    def score(self, entry: CacheEntry, stats: StatisticsManager) -> float:
+        return float(stats.get(entry.entry_id).hits)
+
+
+class PINPolicy(ReplacementPolicy):
+    """Score by R — number of sub-iso tests the entry alleviated."""
+
+    name = "pin"
+
+    def score(self, entry: CacheEntry, stats: StatisticsManager) -> float:
+        return float(stats.get(entry.entry_id).tests_saved)
+
+
+class PINCPolicy(ReplacementPolicy):
+    """Score by C — estimated cost of the alleviated tests."""
+
+    name = "pinc"
+
+    def score(self, entry: CacheEntry, stats: StatisticsManager) -> float:
+        return stats.get(entry.entry_id).cost_saved
+
+
+class HybridPolicy(ReplacementPolicy):
+    """HD: per eviction round, pick PIN or PINC from the CoV² of R.
+
+    *"When the HD policy is invoked, it first retrieves the R from
+    Statistics Manager and computes its variability by using the
+    (squared) coefficient of variation (CoV). [...] When CoV > 1 [...]
+    HD performs cache eviction using PIN's scoring scheme; otherwise, it
+    turns to PINC's scoring scheme."*
+    """
+
+    name = "hd"
+
+    def __init__(self) -> None:
+        self._pin = PINPolicy()
+        self._pinc = PINCPolicy()
+        self.pin_rounds = 0
+        self.pinc_rounds = 0
+
+    def score(self, entry: CacheEntry, stats: StatisticsManager) -> float:
+        # Scoring outside an eviction round defaults to PIN's view.
+        return self._pin.score(entry, stats)
+
+    def select_victims(self, entries: list[CacheEntry],
+                       stats: StatisticsManager,
+                       capacity: int) -> list[CacheEntry]:
+        if len(entries) <= capacity:
+            return []
+        r_values = stats.r_values([e.entry_id for e in entries])
+        cov_sq = coefficient_of_variation_squared(r_values)
+        if cov_sq > 1.0:
+            self.pin_rounds += 1
+            chosen: ReplacementPolicy = self._pin
+        else:
+            self.pinc_rounds += 1
+            chosen = self._pinc
+        return chosen.select_victims(entries, stats, capacity)
+
+
+POLICIES: dict[str, type[ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "lfu": LFUPolicy,
+    "pin": PINPolicy,
+    "pinc": PINCPolicy,
+    "hd": HybridPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a policy by name (``lru``/``lfu``/``pin``/``pinc``/``hd``)."""
+    try:
+        return POLICIES[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; choose from {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,121 @@
+"""Retrospective revalidation — the paper's stated future work.
+
+    *"Future works include further optimizing CON cache with
+    retrospective validating mechanisms..."* (§8)
+
+Under CON, a dataset change permanently turns off validity bits: the
+relation of a cached query toward a touched graph stays unknown forever
+(the entry's ``Answer`` is a frozen snapshot).  Popular entries therefore
+decay — an entry that once yielded zero-test exact-match hits keeps
+paying one residual sub-iso test per touched graph on every future hit.
+
+This module *re-earns* validity: for selected entries, it re-runs the
+sub-iso test against the up-to-date dataset for (live) graphs whose bit
+is off, refreshing **both** the answer bit and the validity bit.  The
+pruning formulas only require the invariant *"valid bit set ⇒ the
+recorded relation holds against the current dataset"*, which this
+refresh preserves — the end-to-end consistency property tests run with
+revalidation enabled to prove it.
+
+Spending is controlled by a per-query test budget; entries are selected
+highest-benefit-first (the R statistic), so the budget flows to the
+entries whose restored validity will save the most future tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.entry import CacheEntry, QueryType
+from repro.cache.manager import CacheManager
+from repro.dataset.store import GraphStore
+from repro.matching.base import SubgraphMatcher
+
+__all__ = ["revalidate_entry", "RetrospectiveRevalidator", "RetroReport"]
+
+
+def revalidate_entry(entry: CacheEntry, store: GraphStore,
+                     matcher: SubgraphMatcher,
+                     max_tests: int | None = None) -> int:
+    """Re-test (live) graphs whose validity bit is off; refresh bits.
+
+    Returns the number of sub-iso tests spent.  ``max_tests`` bounds the
+    work; remaining invalid bits simply stay invalid (safe).
+    """
+    spent = 0
+    for gid in store.ids():
+        if entry.valid.get(gid):
+            continue
+        if max_tests is not None and spent >= max_tests:
+            break
+        host = store.get(gid)
+        if entry.query_type is QueryType.SUBGRAPH:
+            holds = matcher.is_subgraph_isomorphic(entry.query, host)
+        else:
+            holds = matcher.is_subgraph_isomorphic(host, entry.query)
+        spent += 1
+        entry.answer.set(gid, holds)
+        entry.valid.set(gid, True)
+    return spent
+
+
+@dataclass
+class RetroReport:
+    """What one revalidation round did."""
+
+    entries_touched: int = 0
+    tests_spent: int = 0
+    bits_restored: int = 0
+
+
+class RetrospectiveRevalidator:
+    """Budgeted, benefit-ordered revalidation over a cache population.
+
+    ``budget_per_round`` is the maximum number of sub-iso tests a round
+    may spend (a round is typically one query's admission phase, i.e.
+    off the critical path).
+    """
+
+    def __init__(self, budget_per_round: int) -> None:
+        if budget_per_round < 0:
+            raise ValueError(
+                f"budget must be non-negative, got {budget_per_round}"
+            )
+        self.budget_per_round = budget_per_round
+        self.total_tests = 0
+        self.total_bits_restored = 0
+
+    def run_round(self, cache: CacheManager, store: GraphStore,
+                  matcher: SubgraphMatcher) -> RetroReport:
+        """Spend one round's budget on the highest-R entries."""
+        report = RetroReport()
+        if self.budget_per_round == 0:
+            return report
+        live = store.ids_bitset()
+        candidates = [
+            entry for entry in cache.all_entries()
+            if not entry.fully_valid(live)
+        ]
+        if not candidates:
+            return report
+        candidates.sort(
+            key=lambda e: (
+                cache.statistics.get(e.entry_id).tests_saved
+                if e.entry_id in cache.statistics else 0
+            ),
+            reverse=True,
+        )
+        remaining = self.budget_per_round
+        for entry in candidates:
+            if remaining <= 0:
+                break
+            spent = revalidate_entry(entry, store, matcher,
+                                     max_tests=remaining)
+            if spent:
+                report.entries_touched += 1
+                report.tests_spent += spent
+                report.bits_restored += spent
+                remaining -= spent
+        self.total_tests += report.tests_spent
+        self.total_bits_restored += report.bits_restored
+        return report

@@ -1,0 +1,51 @@
+"""Window Manager — cache admission control (paper §4).
+
+*"a Window Manager for cache admission control [...] where queries are
+batched to enter cache"*.  Every executed query lands in the window
+(default capacity 20, the paper's setting); when the window fills, the
+whole batch is promoted toward the cache and the replacement policy
+trims the combined population back to the cache capacity.
+
+Crucially, the paper includes window residents among hit-eligible
+"cached graphs": *"cached graphs/queries by default cover those previous
+queries in both cache and window"*, so the window exposes its entries to
+the query index just like the cache proper.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import CacheEntry
+
+__all__ = ["WindowManager"]
+
+
+class WindowManager:
+    """A FIFO batch of recently executed queries awaiting admission."""
+
+    def __init__(self, capacity: int = 20) -> None:
+        if capacity <= 0:
+            raise ValueError(f"window capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: list[CacheEntry] = []
+
+    def add(self, entry: CacheEntry) -> list[CacheEntry] | None:
+        """Append an entry; when the window fills, return the whole batch
+        for promotion (the window empties)."""
+        self._entries.append(entry)
+        if len(self._entries) >= self.capacity:
+            batch = self._entries
+            self._entries = []
+            return batch
+        return None
+
+    def entries(self) -> list[CacheEntry]:
+        return list(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"WindowManager({len(self._entries)}/{self.capacity})"

@@ -1,0 +1,197 @@
+"""Command-line tools: generate datasets/workloads, run query streams.
+
+Everything a user needs to drive GC+ from a shell, using the ``t/v/e``
+exchange format for graphs on disk::
+
+    python -m repro gen-dataset --num-graphs 500 --out data.tve
+    python -m repro gen-workload --dataset data.tve --kind ZZ \
+        --num-queries 200 --out queries.tve
+    python -m repro run --dataset data.tve --workload queries.tve \
+        --model CON --matcher vf2+ --change-batches 5
+
+``run`` prints the paper's per-run metrics (average query time, sub-iso
+tests, hit anatomy) and supports all cache models, matchers, replacement
+policies and both query semantics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.reporting import render_table
+from repro.cache.entry import QueryType
+from repro.cache.models import CacheModel
+from repro.dataset.change_plan import ChangePlan
+from repro.dataset.store import GraphStore
+from repro.datasets.aids import generate_aids_like
+from repro.graphs import io as graph_io
+from repro.matching import MATCHERS, make_matcher
+from repro.runtime.engine import GraphCachePlus
+from repro.runtime.method_m import MethodMRunner
+from repro.workloads.typea import TypeACategory, generate_type_a
+from repro.workloads.typeb import TypeBConfig, generate_type_b
+
+__all__ = ["main"]
+
+
+def _cmd_gen_dataset(args: argparse.Namespace) -> int:
+    graphs = generate_aids_like(
+        num_graphs=args.num_graphs,
+        mean_vertices=args.mean_vertices,
+        std_vertices=args.std_vertices,
+        max_vertices=args.max_vertices,
+        seed=args.seed,
+    )
+    graph_io.dump_file(args.out, list(enumerate(graphs)))
+    avg_v = sum(g.num_vertices for g in graphs) / len(graphs)
+    avg_e = sum(g.num_edges for g in graphs) / len(graphs)
+    print(f"wrote {len(graphs)} graphs to {args.out} "
+          f"(avg |V|={avg_v:.1f}, avg |E|={avg_e:.1f})")
+    return 0
+
+
+def _cmd_gen_workload(args: argparse.Namespace) -> int:
+    graphs = [g for _, g in graph_io.load_file(args.dataset)]
+    kind = args.kind.upper()
+    if kind in {c.name for c in TypeACategory}:
+        workload = generate_type_a(graphs, args.num_queries, kind,
+                                   seed=args.seed)
+    elif kind.endswith("%"):
+        share = int(kind.rstrip("%")) / 100.0
+        workload = generate_type_b(graphs, TypeBConfig(
+            num_queries=args.num_queries,
+            no_answer_probability=share,
+            answer_pool_size=max(args.num_queries // 2, 10),
+            no_answer_pool_size=max(args.num_queries // 8, 5),
+            seed=args.seed,
+        ))
+    else:
+        print(f"unknown workload kind {args.kind!r}; use UU/ZU/ZZ or "
+              f"0%/20%/50%", file=sys.stderr)
+        return 2
+    graph_io.dump_file(
+        args.out, [(i, q.graph) for i, q in enumerate(workload.queries)]
+    )
+    print(f"wrote {len(workload)} queries to {args.out} ({workload.name})")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graphs = [g for _, g in graph_io.load_file(args.dataset)]
+    queries = [g for _, g in graph_io.load_file(args.workload)]
+    if not queries:
+        print("workload is empty", file=sys.stderr)
+        return 2
+    store = GraphStore.from_graphs(graphs)
+    query_type = QueryType[args.query_type.upper()]
+    matcher = make_matcher(args.matcher)
+
+    if args.model.lower() == "none":
+        runner = MethodMRunner(store, matcher, query_type=query_type)
+    else:
+        runner = GraphCachePlus(
+            store, matcher, model=CacheModel[args.model.upper()],
+            query_type=query_type, cache_capacity=args.cache_capacity,
+            window_capacity=args.window_capacity, policy=args.policy,
+            retro_budget=args.retro_budget,
+        )
+
+    plan = None
+    if args.change_batches > 0:
+        plan = ChangePlan.generate(
+            graphs, num_queries=len(queries),
+            num_batches=args.change_batches,
+            ops_per_batch=args.ops_per_batch, seed=args.seed,
+        )
+
+    total_time = 0.0
+    total_tests = 0
+    answers = 0
+    for i, query in enumerate(queries):
+        if plan is not None:
+            plan.apply_due(store, i)
+        result = runner.execute(query)
+        total_time += result.metrics.query_seconds
+        total_tests += result.metrics.method_tests
+        answers += result.metrics.answer_size
+
+    rows = [{
+        "queries": len(queries),
+        "avg query ms": total_time / len(queries) * 1000.0,
+        "sub-iso tests": total_tests,
+        "avg answers": answers / len(queries),
+    }]
+    print(render_table(
+        f"run: model={args.model} matcher={args.matcher} "
+        f"type={args.query_type}", rows,
+    ))
+    if isinstance(runner, GraphCachePlus):
+        s = runner.monitor.summary()
+        hit_rows = [{
+            "zero-test queries": s["zero_test_queries"],
+            "exact-hit queries": s["queries_with_exact_hit"],
+            "containing hits": s["total_containing_hits"],
+            "contained hits": s["total_contained_hits"],
+            "avg overhead ms": s["avg_overhead_ms"],
+        }]
+        print(render_table("cache anatomy", hit_rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GraphCache+ command-line tools.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen_d = sub.add_parser("gen-dataset",
+                           help="generate a synthetic AIDS-like dataset")
+    gen_d.add_argument("--num-graphs", type=int, default=1000)
+    gen_d.add_argument("--mean-vertices", type=float, default=25.0)
+    gen_d.add_argument("--std-vertices", type=float, default=10.0)
+    gen_d.add_argument("--max-vertices", type=int, default=100)
+    gen_d.add_argument("--seed", type=int, default=2017)
+    gen_d.add_argument("--out", type=Path, required=True)
+    gen_d.set_defaults(func=_cmd_gen_dataset)
+
+    gen_w = sub.add_parser("gen-workload",
+                           help="generate a Type A/B query workload")
+    gen_w.add_argument("--dataset", type=Path, required=True)
+    gen_w.add_argument("--kind", default="ZZ",
+                       help="UU, ZU, ZZ, 0%%, 20%% or 50%%")
+    gen_w.add_argument("--num-queries", type=int, default=200)
+    gen_w.add_argument("--seed", type=int, default=0)
+    gen_w.add_argument("--out", type=Path, required=True)
+    gen_w.set_defaults(func=_cmd_gen_workload)
+
+    run = sub.add_parser("run", help="execute a workload file")
+    run.add_argument("--dataset", type=Path, required=True)
+    run.add_argument("--workload", type=Path, required=True)
+    run.add_argument("--model", default="CON",
+                     help="CON, EVI or none (bare Method M)")
+    run.add_argument("--matcher", default="vf2+",
+                     help=f"one of {sorted(MATCHERS)}")
+    run.add_argument("--query-type", default="subgraph",
+                     help="subgraph or supergraph")
+    run.add_argument("--policy", default="hd")
+    run.add_argument("--cache-capacity", type=int, default=100)
+    run.add_argument("--window-capacity", type=int, default=20)
+    run.add_argument("--retro-budget", type=int, default=0)
+    run.add_argument("--change-batches", type=int, default=0)
+    run.add_argument("--ops-per-batch", type=int, default=20)
+    run.add_argument("--seed", type=int, default=77)
+    run.set_defaults(func=_cmd_run)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The dynamic graph dataset substrate (paper's Dataset Manager).
+
+The paper models dataset evolution with four operation types (§1):
+
+* **ADD** — a new graph joins the dataset;
+* **DEL** — an existing graph is removed;
+* **UA** — *update by edge addition* on an existing graph;
+* **UR** — *update by edge removal* on an existing graph.
+
+This package provides the mutable :class:`repro.dataset.store.GraphStore`
+(monotone graph ids, never reused), the append-only
+:class:`repro.dataset.log.UpdateLog` every mutation is recorded in, the
+**Log Analyzer** of Algorithm 1 (:mod:`repro.dataset.log_analyzer`) that
+buckets unprocessed log records into per-graph operation counters, and the
+batched change-plan generator of §7.1
+(:mod:`repro.dataset.change_plan`).
+"""
+
+from repro.dataset.change_plan import ChangeBatch, ChangePlan, OpIntent
+from repro.dataset.log import LogRecord, OpType, UpdateLog
+from repro.dataset.log_analyzer import ChangeCounters, analyze_log
+from repro.dataset.store import GraphStore
+
+__all__ = [
+    "GraphStore",
+    "UpdateLog",
+    "LogRecord",
+    "OpType",
+    "ChangeCounters",
+    "analyze_log",
+    "ChangePlan",
+    "ChangeBatch",
+    "OpIntent",
+]

@@ -1,0 +1,82 @@
+"""The dataset update log.
+
+Every mutation of the :class:`~repro.dataset.store.GraphStore` appends one
+:class:`LogRecord`.  The Cache Manager remembers how far into the log it
+has validated (a sequence-number cursor); the Log Analyzer (Algorithm 1)
+consumes exactly the *incremental* records past that cursor.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["OpType", "LogRecord", "UpdateLog"]
+
+
+class OpType(enum.Enum):
+    """The paper's four dataset change operations (§1)."""
+
+    ADD = "ADD"
+    DEL = "DEL"
+    UA = "UA"  # update by edge addition
+    UR = "UR"  # update by edge removal
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One dataset change.
+
+    ``edge`` is populated for UA/UR (the endpoints within the graph) and
+    ``None`` for ADD/DEL.  ``seq`` is a global, strictly increasing
+    sequence number assigned by the log.
+    """
+
+    seq: int
+    op: OpType
+    graph_id: int
+    edge: tuple[int, int] | None = None
+
+    def __post_init__(self) -> None:
+        needs_edge = self.op in (OpType.UA, OpType.UR)
+        if needs_edge and self.edge is None:
+            raise ValueError(f"{self.op} record requires an edge")
+        if not needs_edge and self.edge is not None:
+            raise ValueError(f"{self.op} record must not carry an edge")
+
+
+class UpdateLog:
+    """Append-only operation log with cursor-based incremental reads."""
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+
+    def append(self, op: OpType, graph_id: int,
+               edge: tuple[int, int] | None = None) -> LogRecord:
+        record = LogRecord(len(self._records) + 1, op, graph_id, edge)
+        self._records.append(record)
+        return record
+
+    @property
+    def last_seq(self) -> int:
+        """Sequence number of the newest record (0 when empty)."""
+        return len(self._records)
+
+    def records_since(self, cursor: int) -> list[LogRecord]:
+        """All records with ``seq > cursor`` — the paper's "incremental
+        records that have not been reflected in cache" (Algorithm 1)."""
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        return self._records[cursor:]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    def __repr__(self) -> str:
+        return f"UpdateLog({len(self._records)} records)"

@@ -1,0 +1,103 @@
+"""Monotone graph features for sub/supergraph candidate filtering.
+
+The GC+ cache must quickly decide, for a new query ``g`` and each cached
+query ``g'``, whether ``g ⊆ g'`` or ``g' ⊆ g`` *might* hold before paying
+for a verification sub-iso test.  This is the iGQ idea from the authors'
+earlier work ([25] in the paper): index features that are **monotone
+under subgraph isomorphism** — if ``g ⊆ g'`` then ``features(g) ≤
+features(g')`` componentwise — and use the contrapositive to prune.
+
+Features used (all monotone for non-induced subgraph isomorphism):
+
+* vertex count, edge count;
+* per-label vertex counts;
+* per-(label, label) edge counts (unordered endpoint label pair);
+* the sorted degree sequence is *not* monotone per-vertex, but the
+  multiset dominance of degree sequences is; we use a cheaper safe
+  variant: for each label, the sorted list of degrees of vertices with
+  that label in the candidate must dominate the query's (checked via a
+  greedy matching on sorted lists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.graphs.graph import LabeledGraph
+
+__all__ = ["GraphFeatures"]
+
+Label = Hashable
+
+
+def _label_pair(a: Label, b: Label) -> tuple[str, str]:
+    """Canonical unordered label pair, keyed by repr for mixed types."""
+    ra, rb = repr(a), repr(b)
+    return (ra, rb) if ra <= rb else (rb, ra)
+
+
+@dataclass(frozen=True)
+class GraphFeatures:
+    """Summary of a graph used for containment pre-filtering.
+
+    ``may_be_subgraph_of`` is a necessary condition test: it never returns
+    ``False`` when containment actually holds (no false dismissals), which
+    the property tests assert against ground-truth sub-iso.
+    """
+
+    num_vertices: int
+    num_edges: int
+    label_counts: dict[str, int] = field(hash=False)
+    edge_label_counts: dict[tuple[str, str], int] = field(hash=False)
+    degrees_by_label: dict[str, tuple[int, ...]] = field(hash=False)
+
+    @classmethod
+    def of(cls, graph: LabeledGraph) -> "GraphFeatures":
+        label_counts: dict[str, int] = {}
+        degrees: dict[str, list[int]] = {}
+        for v in graph.vertices():
+            key = repr(graph.label(v))
+            label_counts[key] = label_counts.get(key, 0) + 1
+            degrees.setdefault(key, []).append(graph.degree(v))
+        edge_label_counts: dict[tuple[str, str], int] = {}
+        for u, v in graph.edges():
+            pair = _label_pair(graph.label(u), graph.label(v))
+            edge_label_counts[pair] = edge_label_counts.get(pair, 0) + 1
+        return cls(
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+            label_counts=label_counts,
+            edge_label_counts=edge_label_counts,
+            degrees_by_label={
+                k: tuple(sorted(v, reverse=True)) for k, v in degrees.items()
+            },
+        )
+
+    def may_be_subgraph_of(self, other: "GraphFeatures") -> bool:
+        """Necessary condition for ``self's graph ⊆ other's graph``."""
+        if self.num_vertices > other.num_vertices:
+            return False
+        if self.num_edges > other.num_edges:
+            return False
+        for label, count in self.label_counts.items():
+            if other.label_counts.get(label, 0) < count:
+                return False
+        for pair, count in self.edge_label_counts.items():
+            if other.edge_label_counts.get(pair, 0) < count:
+                return False
+        for label, degs in self.degrees_by_label.items():
+            other_degs = other.degrees_by_label.get(label, ())
+            if len(other_degs) < len(degs):
+                return False
+            # Both sequences sorted descending: an injection mapping each
+            # query vertex to a host vertex of the same label with at least
+            # its degree exists iff the greedy positional check passes.
+            for mine, theirs in zip(degs, other_degs):
+                if mine > theirs:
+                    return False
+        return True
+
+    def may_be_supergraph_of(self, other: "GraphFeatures") -> bool:
+        """Necessary condition for ``other's graph ⊆ self's graph``."""
+        return other.may_be_subgraph_of(self)

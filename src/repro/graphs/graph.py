@@ -1,0 +1,253 @@
+"""The labeled undirected graph type used throughout GC+.
+
+Follows the paper's definitions (§3): a labeled graph ``G = (V, E, l)``
+with vertex set ``V``, undirected edge set ``E`` and a labeling function
+``l : V → U``.  Only vertices carry labels; the paper notes the extension
+to edge labels is straightforward and out of scope.
+
+Design notes
+------------
+* Vertices are dense integers ``0..n-1``.  Datasets and queries are small
+  (AIDS graphs average 45 vertices), so adjacency is a list of sets —
+  O(1) edge queries, cheap neighbor iteration, and no third-party
+  dependencies on the hot path.
+* The type is mutable because the paper's dataset evolves in place
+  (UA adds an edge to a stored graph, UR removes one).  Mutations bump a
+  ``version`` counter so caches of derived data (features, canonical
+  codes) can detect staleness.
+* Labels are arbitrary hashable objects; the AIDS-like generator uses
+  small strings (atom symbols).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+__all__ = ["LabeledGraph"]
+
+Label = Hashable
+
+
+class LabeledGraph:
+    """A mutable, undirected, vertex-labeled graph.
+
+    >>> g = LabeledGraph.from_edges(["C", "C", "O"], [(0, 1), (1, 2)])
+    >>> g.num_vertices, g.num_edges
+    (3, 2)
+    >>> g.label(2)
+    'O'
+    >>> g.has_edge(1, 0)
+    True
+    """
+
+    __slots__ = ("_labels", "_adjacency", "_num_edges", "version")
+
+    def __init__(self) -> None:
+        self._labels: list[Label] = []
+        self._adjacency: list[set[int]] = []
+        self._num_edges = 0
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(cls, labels: Iterable[Label],
+                   edges: Iterable[tuple[int, int]]) -> "LabeledGraph":
+        """Build a graph from a label list and an edge list."""
+        g = cls()
+        for lab in labels:
+            g.add_vertex(lab)
+        for u, v in edges:
+            g.add_edge(u, v)
+        return g
+
+    def copy(self) -> "LabeledGraph":
+        """Deep copy (labels are shared; they are immutable by contract)."""
+        g = LabeledGraph()
+        g._labels = list(self._labels)
+        g._adjacency = [set(neigh) for neigh in self._adjacency]
+        g._num_edges = self._num_edges
+        return g
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._labels))
+
+    def label(self, v: int) -> Label:
+        return self._labels[v]
+
+    @property
+    def labels(self) -> tuple[Label, ...]:
+        return tuple(self._labels)
+
+    def neighbors(self, v: int) -> set[int]:
+        """The neighbor set of ``v`` (do not mutate the returned set)."""
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        return len(self._adjacency[v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if not (0 <= u < len(self._adjacency)):
+            return False
+        return v in self._adjacency[u]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u, neigh in enumerate(self._adjacency):
+            for v in neigh:
+                if u < v:
+                    yield (u, v)
+
+    def label_multiset(self) -> dict[Label, int]:
+        """Histogram of vertex labels."""
+        counts: dict[Label, int] = {}
+        for lab in self._labels:
+            counts[lab] = counts.get(lab, 0) + 1
+        return counts
+
+    def neighbor_labels(self, v: int) -> list[Label]:
+        """Labels of the neighbors of ``v`` (with multiplicity)."""
+        return [self._labels[u] for u in self._adjacency[v]]
+
+    # ------------------------------------------------------------------
+    # Mutation (the paper's UA / UR dataset operations act through these)
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: Label) -> int:
+        """Append a vertex; returns its id."""
+        self._labels.append(label)
+        self._adjacency.append(set())
+        self.version += 1
+        return len(self._labels) - 1
+
+    def set_label(self, v: int, label: Label) -> None:
+        """Relabel vertex ``v`` (used by the Type B no-answer generator)."""
+        self._check_vertex(v)
+        self._labels[v] = label
+        self.version += 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert undirected edge ``{u, v}`` (the paper's UA operation)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise ValueError(f"self-loops are not allowed (vertex {u})")
+        if v in self._adjacency[u]:
+            raise ValueError(f"edge ({u}, {v}) already present")
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+        self.version += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Delete undirected edge ``{u, v}`` (the paper's UR operation)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adjacency[u]:
+            raise ValueError(f"edge ({u}, {v}) not present")
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._num_edges -= 1
+        self.version += 1
+
+    def non_edges(self) -> Iterator[tuple[int, int]]:
+        """Vertex pairs ``u < v`` not currently joined by an edge.
+
+        Used by the change-plan generator to pick a UA target uniformly.
+        """
+        n = len(self._labels)
+        for u in range(n):
+            adj = self._adjacency[u]
+            for v in range(u + 1, n):
+                if v not in adj:
+                    yield (u, v)
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._labels):
+            raise IndexError(
+                f"vertex {v} out of range [0, {len(self._labels)})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def is_connected(self) -> bool:
+        """True for the empty graph and any single-component graph."""
+        n = len(self._labels)
+        if n == 0:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            u = stack.pop()
+            for v in self._adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == n
+
+    def connected_components(self) -> list[list[int]]:
+        """Vertex lists of the connected components, in discovery order."""
+        seen: set[int] = set()
+        components: list[list[int]] = []
+        for start in range(len(self._labels)):
+            if start in seen:
+                continue
+            comp = [start]
+            seen.add(start)
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for v in self._adjacency[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        comp.append(v)
+                        stack.append(v)
+            components.append(comp)
+        return components
+
+    def induced_subgraph(self, vertices: Iterable[int]) -> "LabeledGraph":
+        """The subgraph induced by ``vertices`` (ids are remapped densely)."""
+        keep = list(dict.fromkeys(vertices))
+        index = {v: i for i, v in enumerate(keep)}
+        g = LabeledGraph()
+        for v in keep:
+            self._check_vertex(v)
+            g.add_vertex(self._labels[v])
+        for v in keep:
+            for u in self._adjacency[v]:
+                if u in index and v < u:
+                    g.add_edge(index[v], index[u])
+        return g
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        """Structural identity (same ids, labels, edges) — not isomorphism."""
+        if not isinstance(other, LabeledGraph):
+            return NotImplemented
+        return (
+            self._labels == other._labels
+            and self._adjacency == other._adjacency
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - mutable, unhashable
+        raise TypeError("LabeledGraph is mutable and unhashable; "
+                        "use canonical_code() for identity keys")
+
+    def __repr__(self) -> str:
+        return (
+            f"LabeledGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+        )

@@ -1,0 +1,127 @@
+"""Common interface and shared helpers for sub-iso matchers.
+
+Semantics: given a *query* graph ``q`` and a *host* graph ``G``, decide
+whether there is an injection ``φ : V(q) → V(G)`` such that every edge
+``(u, v)`` of ``q`` maps to an edge ``(φ(u), φ(v))`` of ``G`` and labels
+are preserved — i.e. non-induced subgraph isomorphism (paper §3).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.graphs.graph import LabeledGraph
+
+__all__ = ["MatcherStats", "SubgraphMatcher", "verify_embedding"]
+
+
+@dataclass
+class MatcherStats:
+    """Work counters accumulated across calls to one matcher instance.
+
+    * ``tests`` — number of (query, host) decision calls;
+    * ``states`` — search-tree states expanded (recursive extensions);
+    * ``found`` — decision calls that returned True.
+    """
+
+    tests: int = 0
+    states: int = 0
+    found: int = 0
+
+    def reset(self) -> None:
+        self.tests = 0
+        self.states = 0
+        self.found = 0
+
+    def snapshot(self) -> "MatcherStats":
+        return MatcherStats(self.tests, self.states, self.found)
+
+
+def _sizes_fit(query: LabeledGraph, host: LabeledGraph) -> bool:
+    """The only guard shared by every matcher: O(1) size feasibility.
+
+    Anything stronger (label multisets, degree profiles) is left to the
+    individual algorithms — that differentiation *is* the difference
+    between vanilla VF2 and VF2+/GraphQL, and the paper's per-method
+    speedups depend on it.
+    """
+    return (query.num_vertices <= host.num_vertices
+            and query.num_edges <= host.num_edges)
+
+
+class SubgraphMatcher(abc.ABC):
+    """Abstract sub-iso decision algorithm with work accounting."""
+
+    #: short identifier used in benchmark tables (overridden per class)
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = MatcherStats()
+
+    def is_subgraph_isomorphic(self, query: LabeledGraph,
+                               host: LabeledGraph) -> bool:
+        """Decide ``query ⊆ host`` (non-induced, label-preserving)."""
+        self.stats.tests += 1
+        if query.num_vertices == 0:
+            self.stats.found += 1
+            return True
+        if not _sizes_fit(query, host):
+            return False
+        result = self._decide(query, host)
+        if result:
+            self.stats.found += 1
+        return result
+
+    def find_embedding(self, query: LabeledGraph,
+                       host: LabeledGraph) -> dict[int, int] | None:
+        """Return one embedding ``{query vertex: host vertex}`` or None.
+
+        Not used on the GC+ hot path (the decision suffices) but exposed
+        for examples, debugging, and the matching-problem use case.
+        """
+        self.stats.tests += 1
+        if query.num_vertices == 0:
+            self.stats.found += 1
+            return {}
+        if not _sizes_fit(query, host):
+            return None
+        mapping = self._embed(query, host)
+        if mapping is not None:
+            self.stats.found += 1
+        return mapping
+
+    @abc.abstractmethod
+    def _decide(self, query: LabeledGraph, host: LabeledGraph) -> bool:
+        """Algorithm-specific decision (sizes/labels already pre-checked)."""
+
+    def _embed(self, query: LabeledGraph,
+               host: LabeledGraph) -> dict[int, int] | None:
+        """Default embedding extraction; subclasses may override."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement embedding extraction"
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(tests={self.stats.tests})"
+
+
+def verify_embedding(query: LabeledGraph, host: LabeledGraph,
+                     mapping: dict[int, int]) -> bool:
+    """Check that ``mapping`` is a valid non-induced embedding.
+
+    Used by tests as an oracle over matcher outputs.
+    """
+    if len(mapping) != query.num_vertices:
+        return False
+    if len(set(mapping.values())) != len(mapping):
+        return False  # not injective
+    for u, image in mapping.items():
+        if not 0 <= image < host.num_vertices:
+            return False
+        if query.label(u) != host.label(image):
+            return False
+    for u, v in query.edges():
+        if not host.has_edge(mapping[u], mapping[v]):
+            return False
+    return True

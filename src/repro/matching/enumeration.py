@@ -1,0 +1,120 @@
+"""Embedding enumeration — the *matching* version of sub-iso (paper §2).
+
+The paper distinguishes (§2) the **decision** problem (is the query
+contained in each dataset graph? — what GC+ accelerates) from the
+**matching** problem (locate *all* occurrences of the query within a
+graph).  The decision form is all the cache needs, but a downstream user
+of the library frequently wants the occurrences themselves once the
+answer set is known — e.g. to highlight the matched atoms of a screening
+hit.  This module provides enumeration on top of the same search
+machinery, with well-defined symmetry semantics:
+
+* :func:`enumerate_embeddings` yields every injective, label-preserving,
+  non-induced embedding ``{query vertex → host vertex}``; isomorphic
+  query automorphisms produce distinct embeddings (the standard
+  convention: occurrences are counted per vertex mapping);
+* :func:`count_embeddings` counts them without materializing;
+* both accept a ``limit`` so gigantic occurrence counts (e.g. a single
+  carbon vertex against a large molecule) stay bounded.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterator
+
+from repro.graphs.graph import LabeledGraph
+
+__all__ = ["enumerate_embeddings", "count_embeddings"]
+
+
+def _order_by_connectivity(query: LabeledGraph) -> list[int]:
+    """Connectivity-first order (BFS per component, ascending ids)."""
+    order: list[int] = []
+    seen: set[int] = set()
+    for start in query.vertices():
+        if start in seen:
+            continue
+        seen.add(start)
+        frontier = [start]
+        while frontier:
+            u = frontier.pop(0)
+            order.append(u)
+            for v in sorted(query.neighbors(u)):
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+    return order
+
+
+def enumerate_embeddings(query: LabeledGraph, host: LabeledGraph,
+                         limit: int | None = None
+                         ) -> Iterator[dict[int, int]]:
+    """Yield every embedding of ``query`` into ``host``.
+
+    >>> q = LabeledGraph.from_edges("CC", [(0, 1)])
+    >>> h = LabeledGraph.from_edges("CCC", [(0, 1), (1, 2)])
+    >>> sorted(tuple(sorted(e.items())) for e in enumerate_embeddings(q, h))
+    [((0, 0), (1, 1)), ((0, 1), (1, 0)), ((0, 1), (1, 2)), ((0, 2), (1, 1))]
+    """
+    if limit is not None:
+        if limit <= 0:
+            return
+        yield from itertools.islice(
+            enumerate_embeddings(query, host), limit
+        )
+        return
+    if query.num_vertices == 0:
+        yield {}
+        return
+    if (query.num_vertices > host.num_vertices
+            or query.num_edges > host.num_edges):
+        return
+
+    order = _order_by_connectivity(query)
+    by_label: dict[object, list[int]] = {}
+    for v in host.vertices():
+        by_label.setdefault(host.label(v), []).append(v)
+
+    mapping: dict[int, int] = {}
+    used: set[int] = set()
+
+    def extend(depth: int) -> Iterator[dict[int, int]]:
+        if depth == len(order):
+            yield dict(mapping)
+            return
+        u = order[depth]
+        qlabel = query.label(u)
+        qdeg = query.degree(u)
+        mapped_neighbors = [n for n in query.neighbors(u) if n in mapping]
+        if mapped_neighbors:
+            candidates = sorted(host.neighbors(mapping[mapped_neighbors[0]]))
+        else:
+            candidates = by_label.get(qlabel, [])
+        for cand in candidates:
+            if cand in used:
+                continue
+            if host.label(cand) != qlabel:
+                continue
+            if host.degree(cand) < qdeg:
+                continue
+            if any(not host.has_edge(mapping[n], cand)
+                   for n in mapped_neighbors):
+                continue
+            mapping[u] = cand
+            used.add(cand)
+            yield from extend(depth + 1)
+            del mapping[u]
+            used.discard(cand)
+
+    yield from extend(0)
+
+
+def count_embeddings(query: LabeledGraph, host: LabeledGraph,
+                     limit: int | None = None) -> int:
+    """Number of embeddings of ``query`` into ``host`` (capped at
+    ``limit`` when given)."""
+    count = 0
+    for _ in enumerate_embeddings(query, host, limit=limit):
+        count += 1
+    return count

@@ -1,0 +1,204 @@
+"""GraphQL-style subgraph matching (He & Singh, via Lee et al. [14]).
+
+The paper's third Method M.  GraphQL's signature contributions, all
+implemented here:
+
+1. **Local pruning** by neighborhood profiles: a candidate host vertex
+   must carry the query vertex's label and its radius-``r`` neighborhood
+   label multiset must dominate the query vertex's (default ``r = 1``,
+   configurable).
+2. **Global refinement** ("pseudo subgraph isomorphism"): iterated
+   bipartite checks — host vertex ``v`` stays a candidate for query
+   vertex ``u`` only if there is a *semi-perfect matching* from every
+   neighbor of ``u`` to distinct neighbors of ``v`` through the current
+   candidate relation.  Implemented with augmenting-path bipartite
+   matching, swept ``refinement_rounds`` times (default 2).
+3. **Search-order optimization**: the search picks, at each depth, the
+   unmapped query vertex with the fewest live candidates
+   (least-candidates-first dynamic ordering).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.graphs.graph import LabeledGraph
+from repro.matching.base import SubgraphMatcher
+
+__all__ = ["GraphQLMatcher"]
+
+
+class GraphQLMatcher(SubgraphMatcher):
+    """GraphQL: profile filter + pseudo-iso refinement + dynamic order."""
+
+    name = "graphql"
+
+    def __init__(self, profile_radius: int = 1,
+                 refinement_rounds: int = 2) -> None:
+        super().__init__()
+        if profile_radius < 0:
+            raise ValueError(f"profile_radius must be >= 0, got {profile_radius}")
+        if refinement_rounds < 0:
+            raise ValueError(
+                f"refinement_rounds must be >= 0, got {refinement_rounds}"
+            )
+        self.profile_radius = profile_radius
+        self.refinement_rounds = refinement_rounds
+
+    # ------------------------------------------------------------------
+    # Phase 1: local pruning
+    # ------------------------------------------------------------------
+    def _profile(self, graph: LabeledGraph, v: int) -> Counter:
+        """Label multiset of the radius-``r`` neighborhood around ``v``
+        (excluding ``v`` itself)."""
+        if self.profile_radius == 0:
+            return Counter()
+        seen = {v}
+        frontier = [v]
+        profile: Counter = Counter()
+        for _ in range(self.profile_radius):
+            nxt: list[int] = []
+            for u in frontier:
+                for w in graph.neighbors(u):
+                    if w not in seen:
+                        seen.add(w)
+                        profile[graph.label(w)] += 1
+                        nxt.append(w)
+            frontier = nxt
+        return profile
+
+    def _initial_candidates(self, query: LabeledGraph,
+                            host: LabeledGraph) -> list[set[int]]:
+        by_label: dict[object, list[int]] = {}
+        for v in host.vertices():
+            by_label.setdefault(host.label(v), []).append(v)
+        host_profiles: dict[int, Counter] = {}
+        out: list[set[int]] = []
+        for u in query.vertices():
+            qprof = self._profile(query, u)
+            qdeg = query.degree(u)
+            cands: set[int] = set()
+            for v in by_label.get(query.label(u), []):
+                if host.degree(v) < qdeg:
+                    continue
+                prof = host_profiles.get(v)
+                if prof is None:
+                    prof = self._profile(host, v)
+                    host_profiles[v] = prof
+                if all(prof.get(lab, 0) >= cnt for lab, cnt in qprof.items()):
+                    cands.add(v)
+            out.append(cands)
+        return out
+
+    # ------------------------------------------------------------------
+    # Phase 2: global refinement (pseudo subgraph isomorphism)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _has_semi_matching(query_neighbors: list[int], host_neighbors: list[int],
+                           candidates: list[set[int]]) -> bool:
+        """Can every query neighbor be matched to a *distinct* host neighbor
+        it is compatible with?  Standard augmenting-path bipartite matching
+        over the compatibility relation ``h ∈ candidates[qn]``."""
+        match_of: dict[int, int] = {}  # host neighbor -> query neighbor
+
+        def augment(qn: int, visited: set[int]) -> bool:
+            for h in host_neighbors:
+                if h in visited or h not in candidates[qn]:
+                    continue
+                visited.add(h)
+                if h not in match_of or augment(match_of[h], visited):
+                    match_of[h] = qn
+                    return True
+            return False
+
+        for qn in query_neighbors:
+            if not augment(qn, set()):
+                return False
+        return True
+
+    def _refine(self, query: LabeledGraph, host: LabeledGraph,
+                candidates: list[set[int]]) -> bool:
+        """Iterate the pseudo-iso test; returns False if any candidate set
+        empties (no embedding can exist)."""
+        for _ in range(self.refinement_rounds):
+            changed = False
+            for u in query.vertices():
+                q_neigh = list(query.neighbors(u))
+                if not q_neigh:
+                    continue
+                dead: list[int] = []
+                for v in candidates[u]:
+                    h_neigh = list(host.neighbors(v))
+                    if not self._has_semi_matching(q_neigh, h_neigh, candidates):
+                        dead.append(v)
+                if dead:
+                    changed = True
+                    candidates[u].difference_update(dead)
+                    if not candidates[u]:
+                        return False
+            if not changed:
+                break
+        return True
+
+    # ------------------------------------------------------------------
+    # Phase 3: search
+    # ------------------------------------------------------------------
+    def _decide(self, query: LabeledGraph, host: LabeledGraph) -> bool:
+        return self._search(query, host) is not None
+
+    def _embed(self, query: LabeledGraph,
+               host: LabeledGraph) -> dict[int, int] | None:
+        return self._search(query, host)
+
+    def _search(self, query: LabeledGraph,
+                host: LabeledGraph) -> dict[int, int] | None:
+        candidates = self._initial_candidates(query, host)
+        if any(not c for c in candidates):
+            return None
+        if not self._refine(query, host, candidates):
+            return None
+
+        n = query.num_vertices
+        mapping: dict[int, int] = {}
+        used: set[int] = set()
+
+        def live_count(u: int) -> int:
+            """Candidates of u consistent with the current partial map."""
+            mapped_neighbors = [x for x in query.neighbors(u) if x in mapping]
+            count = 0
+            for v in candidates[u]:
+                if v in used:
+                    continue
+                if all(host.has_edge(mapping[x], v) for x in mapped_neighbors):
+                    count += 1
+            return count
+
+        def extend() -> bool:
+            if len(mapping) == n:
+                return True
+            self.stats.states += 1
+            # Least-candidates-first among unmapped query vertices, with a
+            # connectivity bonus: prefer vertices adjacent to the mapping.
+            unmapped = [u for u in query.vertices() if u not in mapping]
+            u = min(
+                unmapped,
+                key=lambda x: (
+                    0 if any(nb in mapping for nb in query.neighbors(x)) else 1,
+                    live_count(x),
+                ),
+            )
+            mapped_neighbors = [x for x in query.neighbors(u) if x in mapping]
+            for v in candidates[u]:
+                if v in used:
+                    continue
+                if not all(host.has_edge(mapping[x], v) for x in mapped_neighbors):
+                    continue
+                mapping[u] = v
+                used.add(v)
+                if extend():
+                    return True
+                del mapping[u]
+                used.discard(v)
+            return False
+
+        return dict(mapping) if extend() else None

@@ -1,0 +1,111 @@
+"""Vanilla VF2 for non-induced subgraph isomorphism (Cordella et al. [3]).
+
+The classic state-space search: extend a partial injective mapping one
+(query-vertex, host-vertex) pair at a time, preferring pairs adjacent to
+the current partial mapping (the "terminal" sets of the original paper),
+with the feasibility rules specialised — and made *safe* — for the
+monomorphism (non-induced) setting:
+
+* label equality;
+* every already-mapped query neighbor must map to a host neighbor of the
+  candidate (core consistency — the only structural rule that is both
+  necessary and sufficient to check incrementally for monomorphism);
+* degree lookahead ``deg(q_vertex) ≤ deg(host_vertex)``.
+
+The induced-isomorphism terminal-set cardinality rules of the original
+VF2 are deliberately omitted: they can prune valid monomorphisms.  This
+mirrors how VF2 is commonly adapted for subgraph *queries* in the FTV
+literature, and it is the baseline "Method M" of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import LabeledGraph
+from repro.matching.base import SubgraphMatcher
+
+__all__ = ["VF2Matcher"]
+
+
+class VF2Matcher(SubgraphMatcher):
+    """Vanilla VF2, connectivity-driven static variable order."""
+
+    name = "vf2"
+
+    def _decide(self, query: LabeledGraph, host: LabeledGraph) -> bool:
+        return self._search(query, host, record=False) is not None
+
+    def _embed(self, query: LabeledGraph,
+               host: LabeledGraph) -> dict[int, int] | None:
+        return self._search(query, host, record=True)
+
+    # ------------------------------------------------------------------
+    def _order(self, query: LabeledGraph) -> list[int]:
+        """BFS order per component from the lowest vertex id (vanilla VF2
+        explores terminal pairs by minimal id; a BFS order reproduces the
+        connectivity-first behaviour with a static order)."""
+        order: list[int] = []
+        seen: set[int] = set()
+        for start in query.vertices():
+            if start in seen:
+                continue
+            seen.add(start)
+            frontier = [start]
+            while frontier:
+                u = frontier.pop(0)
+                order.append(u)
+                for v in sorted(query.neighbors(u)):
+                    if v not in seen:
+                        seen.add(v)
+                        frontier.append(v)
+        return order
+
+    def _search(self, query: LabeledGraph, host: LabeledGraph,
+                record: bool) -> dict[int, int] | None:
+        order = self._order(query)
+        mapping: dict[int, int] = {}
+        used: set[int] = set()
+        # Pre-split host vertices by label to avoid scanning all of them
+        # at the root of every branch.
+        by_label: dict[object, list[int]] = {}
+        for v in host.vertices():
+            by_label.setdefault(host.label(v), []).append(v)
+
+        def extend(depth: int) -> bool:
+            if depth == len(order):
+                return True
+            self.stats.states += 1
+            u = order[depth]
+            mapped_neighbors = [n for n in query.neighbors(u) if n in mapping]
+            if mapped_neighbors:
+                # Candidates must be unmapped host neighbors of every image.
+                anchor = mapping[mapped_neighbors[0]]
+                candidates = host.neighbors(anchor)
+            else:
+                candidates = by_label.get(query.label(u), [])
+            qdeg = query.degree(u)
+            qlabel = query.label(u)
+            for cand in candidates:
+                if cand in used:
+                    continue
+                if host.label(cand) != qlabel:
+                    continue
+                if host.degree(cand) < qdeg:
+                    continue
+                ok = True
+                for n in mapped_neighbors:
+                    if not host.has_edge(mapping[n], cand):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                mapping[u] = cand
+                used.add(cand)
+                if extend(depth + 1):
+                    return True
+                del mapping[u]
+                used.discard(cand)
+            return False
+
+        if extend(0):
+            return dict(mapping) if record else mapping
+        return None

@@ -1,0 +1,34 @@
+"""Query Processing Runtime (paper §4, §6).
+
+* :class:`repro.runtime.method_m.MethodM` — the external SI method GC+
+  expedites: a sub-iso verifier applied to a candidate set;
+* :class:`repro.runtime.method_m.MethodMRunner` — the bare baseline
+  (candidate set = whole dataset), used for speedup denominators;
+* :mod:`repro.runtime.processors` — the GC+sub / GC+super processors
+  that discover containment relations between the new query and cached
+  queries;
+* :mod:`repro.runtime.pruner` — the Candidate Set Pruner implementing
+  formulas (1)–(5) and the §6.3 optimal cases;
+* :mod:`repro.runtime.monitor` — the Statistics Monitor (per-query
+  metrics and aggregates, incl. Figure 6's overhead breakdown);
+* :class:`repro.runtime.engine.GraphCachePlus` — the full system.
+"""
+
+from repro.runtime.engine import GraphCachePlus, QueryResult
+from repro.runtime.method_m import MethodM, MethodMRunner
+from repro.runtime.monitor import QueryMetrics, StatisticsMonitor
+from repro.runtime.processors import DiscoveryResult, HitDiscovery
+from repro.runtime.pruner import PruneOutcome, prune_candidate_set
+
+__all__ = [
+    "GraphCachePlus",
+    "QueryResult",
+    "MethodM",
+    "MethodMRunner",
+    "HitDiscovery",
+    "DiscoveryResult",
+    "prune_candidate_set",
+    "PruneOutcome",
+    "QueryMetrics",
+    "StatisticsMonitor",
+]

@@ -1,0 +1,94 @@
+"""Method M — the external SI method GC+ is called to expedite.
+
+Per the paper (§4): *"Method M subsystem includes an SI implementation,
+denoted Mverifier, sub-iso testing candidate set ``M_CS`` (the whole
+dataset when GC+ is not used)."*  SI methods test every candidate graph;
+there is no FTV dataset index (none supports updates — §1), so the bare
+baseline candidate set is the entire live dataset.
+"""
+
+from __future__ import annotations
+
+from repro.cache.entry import QueryType
+from repro.dataset.store import GraphStore
+from repro.graphs.graph import LabeledGraph
+from repro.matching.base import SubgraphMatcher
+from repro.util.bitset import BitSet
+
+__all__ = ["MethodM", "MethodMRunner", "estimate_test_cost"]
+
+
+def estimate_test_cost(query: LabeledGraph, host: LabeledGraph) -> float:
+    """Heuristic cost of one sub-iso test (feeds the PINC statistic C).
+
+    The classic candidate-pair-space proxy ``|V(query)| · |V(host)|``
+    (see :mod:`repro.cache.statistics` for why any monotone proxy works).
+    """
+    return float(query.num_vertices * host.num_vertices)
+
+
+class MethodM:
+    """Mverifier bound to a dataset: runs sub-iso tests over candidates."""
+
+    def __init__(self, matcher: SubgraphMatcher, store: GraphStore) -> None:
+        self.matcher = matcher
+        self.store = store
+
+    def verify(self, query: LabeledGraph, candidate_ids: BitSet,
+               query_type: QueryType) -> tuple[BitSet, int]:
+        """Test every candidate; returns (answer bits, tests performed).
+
+        Candidate ids referring to deleted graphs are skipped defensively
+        (GC+ never produces them — candidate sets are intersections with
+        the live id set — but user code may).
+        """
+        answer = BitSet(candidate_ids.size)
+        tests = 0
+        store = self.store
+        is_sub = self.matcher.is_subgraph_isomorphic
+        subgraph_semantics = query_type is QueryType.SUBGRAPH
+        for gid in candidate_ids:
+            if gid not in store:
+                continue
+            host = store.get(gid)
+            tests += 1
+            if subgraph_semantics:
+                hit = is_sub(query, host)
+            else:
+                hit = is_sub(host, query)
+            if hit:
+                answer.set(gid)
+        return answer, tests
+
+
+class MethodMRunner:
+    """The bare baseline: Method M over the whole dataset, no cache.
+
+    Exposes the same ``execute`` surface as
+    :class:`repro.runtime.engine.GraphCachePlus` so benchmark harnesses
+    can swap them freely.
+    """
+
+    def __init__(self, store: GraphStore, matcher: SubgraphMatcher,
+                 query_type: QueryType = QueryType.SUBGRAPH) -> None:
+        self.store = store
+        self.method_m = MethodM(matcher, store)
+        self.query_type = query_type
+
+    def execute(self, query: LabeledGraph):
+        """Run one query against the full dataset."""
+        from repro.runtime.engine import QueryResult  # cycle-free import
+        from repro.runtime.monitor import QueryMetrics
+        from repro.util.timing import Stopwatch
+
+        sw = Stopwatch()
+        with sw:
+            candidates = self.store.ids_bitset()
+            answer, tests = self.method_m.verify(query, candidates,
+                                                 self.query_type)
+        metrics = QueryMetrics(
+            method_tests=tests,
+            candidate_size=candidates.cardinality(),
+            verify_seconds=sw.elapsed,
+        )
+        return QueryResult(answer=answer, metrics=metrics)

@@ -1,0 +1,163 @@
+"""Statistics Monitor — per-query metrics and run-level aggregates.
+
+Reproduces the paper's reporting surface:
+
+* **query time** (Figure 4 numerator/denominator) — the critical-path
+  work to answer a query: hit discovery + pruning + Method-M
+  verification.  Admission and consistency maintenance are *overhead*
+  (Figure 6): the paper performs them "concurrently with the Query
+  Processing Runtime subsystem executing subsequent queries" (§4), and
+  Figure 6 reports them as a separate per-query overhead bar.
+* **number of sub-iso tests** (Figure 5) — Method-M verifier calls
+  against dataset graphs.
+* **overhead breakdown** — window/cache update time vs the CON-exclusive
+  log-analysis + validation time (§7.2 reports the latter is <1% of CON
+  overhead).
+* **hit anatomy** (§7.2 insight) — exact-match hits, zero-test queries,
+  sub/supergraph hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.stats import RunningStats
+
+__all__ = ["QueryMetrics", "StatisticsMonitor"]
+
+
+@dataclass
+class QueryMetrics:
+    """Everything measured about one query execution."""
+
+    method_tests: int = 0          # Mverifier calls (Figure 5's metric)
+    candidate_size: int = 0        # |CS_M| before pruning
+    pruned_candidate_size: int = 0  # |CS_GC+| actually verified
+    tests_saved: int = 0           # candidate_size - tests actually run
+    answer_size: int = 0
+
+    # Critical-path components (query time = their sum).
+    discovery_seconds: float = 0.0
+    prune_seconds: float = 0.0
+    verify_seconds: float = 0.0
+
+    # Overhead components (Figure 6's second bar).
+    analyze_seconds: float = 0.0    # Algorithm 1 (CON only)
+    validate_seconds: float = 0.0   # Algorithm 2 / EVI purge
+    admission_seconds: float = 0.0  # window + cache update, replacement
+    # Retrospective revalidation (beyond-paper extension, opt-in).
+    retro_seconds: float = 0.0
+    retro_tests: int = 0
+
+    # Hit anatomy (§7.2).
+    containing_hits: int = 0
+    contained_hits: int = 0
+    exact_hits: int = 0
+    internal_tests: int = 0
+    exact_hit_valid: bool = False
+    empty_shortcut: bool = False
+
+    @property
+    def query_seconds(self) -> float:
+        return self.discovery_seconds + self.prune_seconds + self.verify_seconds
+
+    @property
+    def overhead_seconds(self) -> float:
+        return (self.analyze_seconds + self.validate_seconds
+                + self.admission_seconds + self.retro_seconds)
+
+    @property
+    def consistency_seconds(self) -> float:
+        """The CON-exclusive share of overhead (Algorithms 1 + 2)."""
+        return self.analyze_seconds + self.validate_seconds
+
+
+@dataclass
+class StatisticsMonitor:
+    """Aggregates :class:`QueryMetrics` across a run."""
+
+    query_time: RunningStats = field(default_factory=RunningStats)
+    verify_time: RunningStats = field(default_factory=RunningStats)
+    discovery_time: RunningStats = field(default_factory=RunningStats)
+    overhead_time: RunningStats = field(default_factory=RunningStats)
+    consistency_time: RunningStats = field(default_factory=RunningStats)
+    method_tests: RunningStats = field(default_factory=RunningStats)
+    tests_saved: RunningStats = field(default_factory=RunningStats)
+
+    queries: int = 0
+    total_method_tests: int = 0
+    total_internal_tests: int = 0
+    total_retro_tests: int = 0
+    total_tests_saved: int = 0
+    zero_test_queries: int = 0
+    queries_with_exact_hit: int = 0
+    queries_with_valid_exact_hit: int = 0
+    queries_with_empty_shortcut: int = 0
+    total_containing_hits: int = 0
+    total_contained_hits: int = 0
+    total_exact_hits: int = 0
+
+    def record(self, metrics: QueryMetrics) -> None:
+        self.queries += 1
+        self.query_time.add(metrics.query_seconds)
+        self.verify_time.add(metrics.verify_seconds)
+        self.discovery_time.add(metrics.discovery_seconds)
+        self.overhead_time.add(metrics.overhead_seconds)
+        self.consistency_time.add(metrics.consistency_seconds)
+        self.method_tests.add(metrics.method_tests)
+        self.tests_saved.add(metrics.tests_saved)
+        self.total_method_tests += metrics.method_tests
+        self.total_internal_tests += metrics.internal_tests
+        self.total_retro_tests += metrics.retro_tests
+        self.total_tests_saved += metrics.tests_saved
+        if metrics.method_tests == 0:
+            self.zero_test_queries += 1
+        if metrics.exact_hits > 0:
+            self.queries_with_exact_hit += 1
+        if metrics.exact_hit_valid:
+            self.queries_with_valid_exact_hit += 1
+        if metrics.empty_shortcut:
+            self.queries_with_empty_shortcut += 1
+        self.total_containing_hits += metrics.containing_hits
+        self.total_contained_hits += metrics.contained_hits
+        self.total_exact_hits += metrics.exact_hits
+
+    # ------------------------------------------------------------------
+    # Report accessors (milliseconds, matching the paper's units)
+    # ------------------------------------------------------------------
+    @property
+    def avg_query_time_ms(self) -> float:
+        return self.query_time.mean * 1000.0
+
+    @property
+    def avg_overhead_ms(self) -> float:
+        return self.overhead_time.mean * 1000.0
+
+    @property
+    def avg_consistency_ms(self) -> float:
+        return self.consistency_time.mean * 1000.0
+
+    @property
+    def avg_method_tests(self) -> float:
+        return self.method_tests.mean
+
+    def summary(self) -> dict[str, float]:
+        """A flat dict for report tables and JSON dumps."""
+        return {
+            "queries": self.queries,
+            "avg_query_time_ms": self.avg_query_time_ms,
+            "avg_overhead_ms": self.avg_overhead_ms,
+            "avg_consistency_ms": self.avg_consistency_ms,
+            "avg_method_tests": self.avg_method_tests,
+            "total_method_tests": self.total_method_tests,
+            "total_internal_tests": self.total_internal_tests,
+            "total_retro_tests": self.total_retro_tests,
+            "total_tests_saved": self.total_tests_saved,
+            "zero_test_queries": self.zero_test_queries,
+            "queries_with_exact_hit": self.queries_with_exact_hit,
+            "queries_with_valid_exact_hit": self.queries_with_valid_exact_hit,
+            "queries_with_empty_shortcut": self.queries_with_empty_shortcut,
+            "total_containing_hits": self.total_containing_hits,
+            "total_contained_hits": self.total_contained_hits,
+            "total_exact_hits": self.total_exact_hits,
+        }

@@ -1,0 +1,142 @@
+"""Candidate Set Pruner — formulas (1)–(5) and the §6.3 optimal cases.
+
+The paper presents the logic for subgraph queries; supergraph queries
+"follow the exact inverse logic".  Both are implemented here through one
+role assignment:
+
+===============================  ======================  =====================
+workload semantics               answer-giving entries   filtering entries
+===============================  ======================  =====================
+subgraph  (``g ⊆ G_i``?)         ``containing`` hits      ``contained`` hits
+                                 (``g ⊆ g'``)             (``g'' ⊆ g``)
+supergraph (``G_i ⊆ g``?)        ``contained`` hits       ``containing`` hits
+                                 (``g'' ⊆ g``)            (``g ⊆ g'``)
+===============================  ======================  =====================
+
+*Answer-giving* entries donate their still-valid positives directly into
+the final answer (formula (1)): for the subgraph case, ``g ⊆ g'`` and
+``g' ⊆ G_i`` (valid) imply ``g ⊆ G_i``.  *Filtering* entries bound the
+candidate set (formulas (4)/(5)): ``g'' ⊆ g`` and ``g'' ⊄ G_i`` (valid)
+imply ``g ⊄ G_i``, so only ``¬CGvalid(g'') ∪ Answer(g'')`` can possibly
+answer ``g``.
+
+Both §6.3 optimal cases *fall out of these formulas* when the processors
+certify exact matches in both hit lists (see
+:mod:`repro.runtime.processors`):
+
+* **exact match, fully valid** → the entry donates its whole valid answer
+  via (1) *and* filters the candidate set down to exactly that answer via
+  (5) — zero sub-iso tests remain;
+* **fully-valid filtering entry with empty answer** → its
+  ``possible_answer`` set is empty → the candidate set empties — zero
+  tests, empty answer.
+
+The pruner still *detects and reports* both cases so the monitor can
+reproduce the paper's hit-anatomy discussion (§7.2: exact-match hits vs
+the ~4–11% of them that actually yield zero sub-iso tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.entry import CacheEntry, QueryType
+from repro.runtime.processors import DiscoveryResult
+from repro.util.bitset import BitSet
+
+__all__ = ["PruneOutcome", "prune_candidate_set"]
+
+
+@dataclass
+class PruneOutcome:
+    """The pruner's verdict for one query.
+
+    * ``answer_free`` — dataset graphs added to the answer without
+      sub-iso tests (``Answer_sub(g)`` of formula (1), or its supergraph
+      mirror);
+    * ``candidates`` — the reduced candidate set to hand to Mverifier
+      (``CS_GC+`` of formulas (2)+(5));
+    * ``contributions`` — per entry id, the number of Method-M sub-iso
+      tests that entry independently alleviated, and the ids it saved
+      (feeds R and C crediting);
+    * ``exact_hit`` / ``empty_shortcut`` — §6.3 optimal-case flags.
+    """
+
+    answer_free: BitSet
+    candidates: BitSet
+    contributions: dict[int, BitSet] = field(default_factory=dict)
+    exact_hit: bool = False
+    empty_shortcut: bool = False
+
+
+def prune_candidate_set(query_type: QueryType, cs_m: BitSet,
+                        discovery: DiscoveryResult,
+                        universe_size: int) -> PruneOutcome:
+    """Apply formulas (1)–(5) to the Method-M candidate set ``cs_m``.
+
+    ``universe_size`` is ``max_graph_id + 1`` — the id space against which
+    formula (4)'s complement is taken.
+    """
+    if query_type is QueryType.SUBGRAPH:
+        answer_entries = discovery.containing
+        filter_entries = discovery.contained
+    else:
+        answer_entries = discovery.contained
+        filter_entries = discovery.containing
+
+    outcome = PruneOutcome(
+        answer_free=BitSet(universe_size),
+        candidates=cs_m.copy(),
+    )
+
+    # Formula (1): test-free positives from answer-giving entries.  Each
+    # donation is intersected with CS_M: CGvalid bits of dead graphs are
+    # cleared by validation, so the intersection is a no-op in normal
+    # operation — it is kept as defence in depth (Lemma 1 relies on
+    # donations being valid *current* dataset graphs).
+    per_entry_donation: dict[int, BitSet] = {}
+    for entry in answer_entries:
+        donation = entry.valid_answer() & cs_m
+        per_entry_donation[entry.entry_id] = donation
+        outcome.answer_free = outcome.answer_free | donation
+
+    # Formula (2): donated graphs need no sub-iso test.
+    after_donation = outcome.candidates.and_not(outcome.answer_free)
+
+    # Formulas (4)+(5): each filtering entry bounds the candidate set to
+    # the graphs that could possibly answer the query.
+    reduced = after_donation
+    per_entry_filtered: dict[int, BitSet] = {}
+    for entry in filter_entries:
+        allowed = entry.possible_answer(universe_size)
+        removed = after_donation.and_not(allowed)
+        per_entry_filtered[entry.entry_id] = removed
+        reduced = reduced & allowed
+    outcome.candidates = reduced
+
+    # Independent per-entry contributions (feeds PIN's R): an answer
+    # entry alleviates the tests of its donated graphs; a filter entry
+    # alleviates the tests of the graphs *it alone* would have removed.
+    for entry_id, donation in per_entry_donation.items():
+        outcome.contributions[entry_id] = donation
+    for entry_id, removed in per_entry_filtered.items():
+        if entry_id in outcome.contributions:
+            outcome.contributions[entry_id] = (
+                outcome.contributions[entry_id] | removed
+            )
+        else:
+            outcome.contributions[entry_id] = removed
+
+    # §6.3 optimal-case detection (reporting only; the formulas above
+    # already produce the optimal candidate sets).
+    current_ids = cs_m
+    for entry in discovery.exact:
+        if entry.fully_valid(current_ids):
+            outcome.exact_hit = True
+            break
+    if not outcome.exact_hit:
+        for entry in filter_entries:
+            if entry.answer.is_empty() and entry.fully_valid(current_ids):
+                outcome.empty_shortcut = True
+                break
+    return outcome

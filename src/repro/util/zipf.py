@@ -1,0 +1,63 @@
+"""Bounded Zipf sampler used by the workload generators (paper §7.1).
+
+The paper draws source graphs / start nodes / pool entries from a Zipf
+distribution with probability density ``p(x) = x^{-α} / ζ(α)`` and default
+``α = 1.4`` (citing [21]; web-page popularity is Zipf with α = 2.4).  For
+workload generation the support must be bounded by the population size, so
+this module implements the truncated Zipf over ranks ``1..n`` with inverse
+CDF sampling over precomputed cumulative weights.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+
+__all__ = ["ZipfSampler", "DEFAULT_ALPHA"]
+
+DEFAULT_ALPHA = 1.4
+"""The paper's default skew parameter (§7.1)."""
+
+
+class ZipfSampler:
+    """Samples ranks ``0..n-1`` with ``P(rank k) ∝ (k+1)^{-α}``.
+
+    Rank 0 is the most popular item.  Callers typically shuffle or
+    otherwise map ranks onto their population so that popularity is not
+    correlated with insertion order unless intended.
+
+    >>> s = ZipfSampler(10, alpha=1.4, rng=random.Random(7))
+    >>> 0 <= s.sample() < 10
+    True
+    """
+
+    def __init__(self, n: int, alpha: float = DEFAULT_ALPHA,
+                 rng: random.Random | None = None) -> None:
+        if n <= 0:
+            raise ValueError(f"population size must be positive, got {n}")
+        if alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {alpha}")
+        self.n = n
+        self.alpha = alpha
+        self._rng = rng if rng is not None else random.Random()
+        weights = [(k + 1) ** -alpha for k in range(n)]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self) -> int:
+        """Draw one rank in ``[0, n)``."""
+        u = self._rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, u)
+
+    def sample_many(self, count: int) -> list[int]:
+        """Draw ``count`` i.i.d. ranks."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.sample() for _ in range(count)]
+
+    def pmf(self, rank: int) -> float:
+        """Probability of drawing ``rank`` (for tests and documentation)."""
+        if not 0 <= rank < self.n:
+            raise ValueError(f"rank {rank} outside [0, {self.n})")
+        return (rank + 1) ** -self.alpha / self._total

@@ -1,0 +1,28 @@
+"""Query workload generators (paper §7.1).
+
+Two families, both synthesized from the initial dataset graphs:
+
+* **Type A** (:mod:`repro.workloads.typea`) — BFS-extracted queries with
+  Uniform/Zipf source-graph and start-node selection: categories ``UU``,
+  ``ZU``, ``ZZ``;
+* **Type B** (:mod:`repro.workloads.typeb`) — pool-based workloads with a
+  controlled share of *no-answer* queries (0%, 20%, 50%), Zipf-selected
+  from the pools (which induces repetition, hence exact-match cache
+  hits).
+
+Query sizes follow the literature-typical 4/8/12/16/20 edges; the Zipf
+skew defaults to the paper's α = 1.4.
+"""
+
+from repro.workloads.base import Query, Workload
+from repro.workloads.typea import TypeACategory, generate_type_a
+from repro.workloads.typeb import TypeBConfig, generate_type_b
+
+__all__ = [
+    "Query",
+    "Workload",
+    "TypeACategory",
+    "generate_type_a",
+    "TypeBConfig",
+    "generate_type_b",
+]

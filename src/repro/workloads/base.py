@@ -1,0 +1,54 @@
+"""Workload data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graphs.graph import LabeledGraph
+
+__all__ = ["Query", "Workload", "DEFAULT_QUERY_SIZES"]
+
+DEFAULT_QUERY_SIZES = (4, 8, 12, 16, 20)
+"""Query sizes (in edges) "typical in literature" (paper §7.1)."""
+
+
+@dataclass
+class Query:
+    """One workload query.
+
+    ``expected_nonempty`` is generation-time metadata: Type A and Type B
+    pool-1 queries are extracted from dataset graphs and therefore have
+    non-empty answers *against the initial dataset* (dataset changes may
+    alter that at execution time); Type B no-answer queries were verified
+    empty against the initial dataset.
+    """
+
+    graph: LabeledGraph
+    size_edges: int
+    source_graph: int | None = None
+    expected_nonempty: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.graph.num_edges != self.size_edges:
+            raise ValueError(
+                f"query size mismatch: graph has {self.graph.num_edges} "
+                f"edges, declared {self.size_edges}"
+            )
+
+
+@dataclass
+class Workload:
+    """A named sequence of queries plus generation metadata."""
+
+    name: str
+    queries: list[Query]
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, {len(self.queries)} queries)"

@@ -1,0 +1,140 @@
+"""Shared test fixtures, hypothesis strategies and oracles.
+
+The oracle functions here are deliberately *independent* of the library
+implementation (plain brute-force recursion over injections) so that the
+property-based tests compare two unrelated code paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings, strategies as st
+
+from repro.graphs.graph import LabeledGraph
+
+# Keep hypothesis runs fast and CI-stable: sub-iso oracles are O(n!) in
+# the worst case, so strategies below bound graph sizes tightly.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+# ----------------------------------------------------------------------
+# Brute-force oracles
+# ----------------------------------------------------------------------
+def brute_force_subiso(query: LabeledGraph, host: LabeledGraph) -> bool:
+    """Independent non-induced sub-iso decision (label-preserving)."""
+    if query.num_vertices > host.num_vertices:
+        return False
+    candidates = [
+        [v for v in host.vertices() if host.label(v) == query.label(u)]
+        for u in query.vertices()
+    ]
+
+    def extend(u: int, used: set[int], mapping: dict[int, int]) -> bool:
+        if u == query.num_vertices:
+            return True
+        for v in candidates[u]:
+            if v in used:
+                continue
+            ok = True
+            for n in query.neighbors(u):
+                if n in mapping and not host.has_edge(mapping[n], v):
+                    ok = False
+                    break
+            if ok:
+                mapping[u] = v
+                used.add(v)
+                if extend(u + 1, used, mapping):
+                    return True
+                del mapping[u]
+                used.discard(v)
+        return False
+
+    return extend(0, set(), {})
+
+
+def brute_force_answer(store, query: LabeledGraph, query_type) -> set[int]:
+    """Ground-truth answer set for a query against a GraphStore."""
+    from repro.cache.entry import QueryType
+
+    out: set[int] = set()
+    for gid, graph in store.items():
+        if query_type is QueryType.SUBGRAPH:
+            hit = brute_force_subiso(query, graph)
+        else:
+            hit = brute_force_subiso(graph, query)
+        if hit:
+            out.add(gid)
+    return out
+
+
+def brute_force_isomorphic(a: LabeledGraph, b: LabeledGraph) -> bool:
+    """Exact isomorphism via two-way containment + equal sizes."""
+    return (
+        a.num_vertices == b.num_vertices
+        and a.num_edges == b.num_edges
+        and brute_force_subiso(a, b)
+    )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+@st.composite
+def labeled_graphs(draw, max_vertices: int = 8, alphabet: str = "abc",
+                   min_vertices: int = 1,
+                   edge_probability: float | None = None):
+    """Random small labeled graphs."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = [draw(st.sampled_from(alphabet)) for _ in range(n)]
+    p = (edge_probability if edge_probability is not None
+         else draw(st.floats(0.0, 0.8)))
+    seed = draw(st.integers(0, 2**32 - 1))
+    rng = random.Random(seed)
+    g = LabeledGraph()
+    for lab in labels:
+        g.add_vertex(lab)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def graph_permutations(draw, max_vertices: int = 7, alphabet: str = "ab"):
+    """(graph, isomorphic permuted copy) pairs."""
+    g = draw(labeled_graphs(max_vertices=max_vertices, alphabet=alphabet))
+    perm = list(g.vertices())
+    rng = random.Random(draw(st.integers(0, 2**32 - 1)))
+    rng.shuffle(perm)
+    inverse = {v: i for i, v in enumerate(perm)}
+    h = LabeledGraph.from_edges(
+        [g.label(perm[i]) for i in range(g.num_vertices)],
+        [(inverse[u], inverse[v]) for u, v in g.edges()],
+    )
+    return g, h
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture
+def path_graph() -> LabeledGraph:
+    """C-C-O path."""
+    return LabeledGraph.from_edges(["C", "C", "O"], [(0, 1), (1, 2)])
+
+
+@pytest.fixture
+def triangle_graph() -> LabeledGraph:
+    return LabeledGraph.from_edges(["C", "C", "O"],
+                                   [(0, 1), (1, 2), (0, 2)])

@@ -1,0 +1,185 @@
+"""Bench harness, experiments and reporting tests (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    PAPER_FIG4,
+    PAPER_FIG5,
+    PAPER_FIG6,
+    ablation_churn,
+    figure4,
+    figure5,
+    figure6,
+    hit_anatomy,
+)
+from repro.bench.harness import (
+    ALL_WORKLOADS,
+    MATCHER_NAMES,
+    SCALES,
+    BenchScale,
+    ExperimentHarness,
+    current_scale,
+)
+from repro.bench.reporting import format_value, render_markdown, render_table
+
+TINY = BenchScale(
+    name="tiny", num_graphs=40, mean_vertices=10.0, std_vertices=3.0,
+    max_vertices=20, num_queries=24, num_batches=2, ops_per_batch=2,
+    cache_capacity=10, window_capacity=3, warmup_queries=0,
+    answer_pool_size=15, no_answer_pool_size=4,
+)
+
+
+@pytest.fixture(scope="module")
+def harness() -> ExperimentHarness:
+    return ExperimentHarness(TINY)
+
+
+class TestScales:
+    def test_registry(self):
+        assert set(SCALES) == {"smoke", "small", "medium", "large"}
+        for scale in SCALES.values():
+            assert scale.num_graphs > 0
+            assert scale.cache_capacity == 100  # the paper's setting
+            assert scale.window_capacity == 20
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("GCPLUS_BENCH_SCALE", "small")
+        assert current_scale().name == "small"
+        monkeypatch.setenv("GCPLUS_BENCH_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+        monkeypatch.delenv("GCPLUS_BENCH_SCALE")
+        assert current_scale().name == "smoke"
+
+    def test_paper_reference_tables_complete(self):
+        assert set(PAPER_FIG5) == set(ALL_WORKLOADS)
+        assert set(PAPER_FIG6) == set(ALL_WORKLOADS)
+        assert set(PAPER_FIG4) == {
+            (m, w) for m in MATCHER_NAMES for w in ALL_WORKLOADS
+        }
+
+
+class TestHarness:
+    def test_workload_names(self, harness):
+        for name in ALL_WORKLOADS:
+            wl = harness.workload(name)
+            assert len(wl) == TINY.num_queries
+        with pytest.raises(ValueError):
+            harness.workload("nope")
+
+    def test_workloads_cached(self, harness):
+        assert harness.workload("ZZ") is harness.workload("ZZ")
+
+    def test_run_memoized(self, harness):
+        a = harness.run("ZZ", "vf2+", "base")
+        b = harness.run("ZZ", "vf2+", "base")
+        assert a is b
+
+    def test_answers_equal_across_models(self, harness):
+        base = harness.run("ZZ", "vf2+", "base")
+        evi = harness.run("ZZ", "vf2+", "EVI")
+        con = harness.run("ZZ", "vf2+", "CON")
+        assert base.answer_signature == evi.answer_signature
+        assert base.answer_signature == con.answer_signature
+
+    def test_speedup_structure(self, harness):
+        time_speedup, test_speedup = harness.speedup("ZZ", "vf2+", "CON")
+        assert time_speedup > 0
+        assert test_speedup >= 1.0
+
+    def test_run_result_accessors(self, harness):
+        r = harness.run("ZZ", "vf2+", "CON")
+        assert r.queries == TINY.num_queries
+        assert r.avg_query_time_ms > 0
+        assert r.avg_overhead_ms >= 0
+        assert r.avg_method_tests >= 0
+        assert r.summary["queries"] == TINY.num_queries
+
+
+class TestExperiments:
+    def test_figure4_rows(self, harness):
+        rows, table = figure4(harness, matchers=("vf2+",),
+                              workloads=("ZZ",))
+        assert len(rows) == 1
+        assert "Figure 4" in table
+        assert rows[0]["paper EVI"] == 1.79
+
+    def test_figure5_method_independence(self, harness):
+        rows, table = figure5(harness, workloads=("ZZ", "UU"))
+        assert len(rows) == 2
+        assert all(r["CON speedup"] >= r["EVI speedup"] * 0.5 for r in rows)
+        assert "Figure 5" in table
+
+    def test_figure6_rows(self, harness):
+        rows, _ = figure6(harness, workloads=("ZZ",))
+        assert rows[0]["vf2 qtime ms"] > 0
+        assert rows[0]["CON overhead ms"] >= 0
+
+    def test_hit_anatomy_rows(self, harness):
+        rows, _ = hit_anatomy(harness, workloads=("ZZ",))
+        assert rows[0]["queries"] == TINY.num_queries
+
+    def test_ablation_churn_zero_equality(self, harness):
+        rows, _ = ablation_churn(harness, batch_multipliers=(0.0, 1.0))
+        assert rows[0]["EVI test speedup"] == pytest.approx(
+            rows[0]["CON test speedup"]
+        )
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(0.0) == "0"
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.001234) == "0.001"
+        assert format_value(12345.6) == "12,346"
+        assert format_value("text") == "text"
+
+    def test_render_table(self):
+        out = render_table("Title", [{"a": 1, "b": 2.5}])
+        assert "Title" in out
+        assert "a" in out and "b" in out
+        assert "2.50" in out
+
+    def test_render_table_empty(self):
+        out = render_table("Empty", [], columns=["x"])
+        assert "Empty" in out
+
+    def test_render_markdown(self):
+        out = render_markdown("T", [{"x": 1}])
+        assert out.startswith("### T")
+        assert "| x |" in out
+        assert "|---|" in out
+
+    def test_column_selection(self):
+        out = render_table("T", [{"a": 1, "b": 2}], columns=["b"])
+        assert "b" in out
+        lines = out.splitlines()
+        assert all("a |" not in line for line in lines[2:3])
+
+
+class TestMonitor:
+    def test_query_metrics_properties(self):
+        from repro.runtime.monitor import QueryMetrics
+
+        m = QueryMetrics(discovery_seconds=1.0, prune_seconds=2.0,
+                         verify_seconds=3.0, analyze_seconds=0.5,
+                         validate_seconds=0.25, admission_seconds=0.25)
+        assert m.query_seconds == 6.0
+        assert m.overhead_seconds == 1.0
+        assert m.consistency_seconds == 0.75
+
+    def test_monitor_zero_test_tracking(self):
+        from repro.runtime.monitor import QueryMetrics, StatisticsMonitor
+
+        mon = StatisticsMonitor()
+        mon.record(QueryMetrics(method_tests=0, exact_hits=1,
+                                exact_hit_valid=True))
+        mon.record(QueryMetrics(method_tests=5))
+        assert mon.queries == 2
+        assert mon.zero_test_queries == 1
+        assert mon.queries_with_exact_hit == 1
+        assert mon.queries_with_valid_exact_hit == 1
+        assert mon.total_method_tests == 5

@@ -1,0 +1,96 @@
+"""CLI tests: gen-dataset → gen-workload → run, end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import io as graph_io
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    target = tmp_path / "data.tve"
+    code = main([
+        "gen-dataset", "--num-graphs", "40", "--mean-vertices", "12",
+        "--std-vertices", "4", "--max-vertices", "30",
+        "--out", str(target),
+    ])
+    assert code == 0
+    return target
+
+
+class TestGenDataset:
+    def test_writes_parseable_graphs(self, dataset_file, capsys):
+        graphs = graph_io.load_file(dataset_file)
+        assert len(graphs) == 40
+        assert all(g.num_vertices >= 4 for _, g in graphs)
+
+
+class TestGenWorkload:
+    @pytest.mark.parametrize("kind", ["ZZ", "UU", "0%"])
+    def test_kinds(self, dataset_file, tmp_path, kind):
+        out = tmp_path / "wl.tve"
+        code = main([
+            "gen-workload", "--dataset", str(dataset_file),
+            "--kind", kind, "--num-queries", "15", "--out", str(out),
+        ])
+        assert code == 0
+        assert len(graph_io.load_file(out)) == 15
+
+    def test_unknown_kind(self, dataset_file, tmp_path, capsys):
+        code = main([
+            "gen-workload", "--dataset", str(dataset_file),
+            "--kind", "XY", "--num-queries", "5",
+            "--out", str(tmp_path / "wl.tve"),
+        ])
+        assert code == 2
+        assert "unknown workload kind" in capsys.readouterr().err
+
+
+class TestRun:
+    @pytest.fixture
+    def workload_file(self, dataset_file, tmp_path):
+        out = tmp_path / "wl.tve"
+        main(["gen-workload", "--dataset", str(dataset_file),
+              "--kind", "ZZ", "--num-queries", "12", "--out", str(out)])
+        return out
+
+    def test_run_con(self, dataset_file, workload_file, capsys):
+        code = main([
+            "run", "--dataset", str(dataset_file),
+            "--workload", str(workload_file), "--model", "CON",
+            "--change-batches", "2", "--ops-per-batch", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sub-iso tests" in out
+        assert "cache anatomy" in out
+
+    def test_run_bare(self, dataset_file, workload_file, capsys):
+        code = main([
+            "run", "--dataset", str(dataset_file),
+            "--workload", str(workload_file), "--model", "none",
+        ])
+        assert code == 0
+        assert "cache anatomy" not in capsys.readouterr().out
+
+    def test_run_supergraph_with_retro(self, dataset_file, workload_file,
+                                       capsys):
+        code = main([
+            "run", "--dataset", str(dataset_file),
+            "--workload", str(workload_file), "--model", "CON",
+            "--query-type", "supergraph", "--retro-budget", "5",
+            "--change-batches", "1",
+        ])
+        assert code == 0
+
+    def test_empty_workload_rejected(self, dataset_file, tmp_path,
+                                     capsys):
+        empty = tmp_path / "empty.tve"
+        empty.write_text("", encoding="utf-8")
+        code = main([
+            "run", "--dataset", str(dataset_file),
+            "--workload", str(empty),
+        ])
+        assert code == 2

@@ -1,0 +1,41 @@
+"""Run the doctests embedded in module docstrings.
+
+Doc examples rot silently unless executed; every public-API snippet in
+a docstring is executed here.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.dataset.store
+import repro.graphs.graph
+import repro.matching.enumeration
+import repro.runtime.engine
+import repro.util.bitset
+import repro.util.timing
+import repro.util.zipf
+
+MODULES = [
+    repro.util.bitset,
+    repro.util.zipf,
+    repro.util.timing,
+    repro.graphs.graph,
+    repro.dataset.store,
+    repro.runtime.engine,
+    repro.matching.enumeration,
+]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, (
+        f"{result.failed} doctest failure(s) in {module.__name__}"
+    )
+    assert result.attempted > 0, (
+        f"{module.__name__} has no doctests but is listed here"
+    )

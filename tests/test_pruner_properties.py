@@ -1,0 +1,124 @@
+"""Formula-level property tests of the Candidate Set Pruner.
+
+These exercise Lemmas 1–5 mechanically: build *real* cache entries by
+executing queries against a live store, churn the dataset, run the
+validator, then check that every pruning decision is justified by
+ground truth:
+
+* every donated graph (``answer_free``) truly satisfies the new query
+  (no false positives — Lemma 1);
+* every graph the filter removes truly does NOT satisfy it (no false
+  negatives — Lemmas 2/5);
+* contributions partition exactly the ids removed from the candidate
+  set.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.entry import QueryType
+from repro.cache.manager import CacheManager
+from repro.cache.models import CacheModel
+from repro.dataset.store import GraphStore
+from repro.graphs.generators import random_labeled_graph
+from repro.matching.vf2plus import VF2PlusMatcher
+from repro.runtime.method_m import MethodM
+from repro.runtime.processors import HitDiscovery
+from repro.runtime.pruner import prune_candidate_set
+from tests.conftest import brute_force_subiso
+from tests.test_consistency import ALPHABET, random_change
+
+
+def build_scenario(seed: int):
+    """A store with real cached entries and pending churn, plus a query."""
+    rng = random.Random(seed)
+    pool = [random_labeled_graph(rng.randint(2, 6), 0.4, ALPHABET, rng)
+            for _ in range(8)]
+    store = GraphStore.from_graphs(pool)
+    cache = CacheManager(model=CacheModel.CON, capacity=10,
+                         window_capacity=3)
+    method_m = MethodM(VF2PlusMatcher(), store)
+
+    # Execute and cache a handful of queries against the live store.
+    for i in range(rng.randint(2, 6)):
+        cache.ensure_consistency(store)
+        q = random_labeled_graph(rng.randint(1, 4), 0.5, ALPHABET, rng)
+        answer, _ = method_m.verify(q, store.ids_bitset(),
+                                    QueryType.SUBGRAPH)
+        cache.admit(q, answer, store, i)
+        if rng.random() < 0.5:
+            random_change(store, pool, rng)
+
+    cache.ensure_consistency(store)
+    query = random_labeled_graph(rng.randint(1, 4), 0.5, ALPHABET, rng)
+    return store, cache, query
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_pruning_decisions_are_justified(seed):
+    store, cache, query = build_scenario(seed)
+    hits = HitDiscovery().discover(query, cache.index)
+    cs = store.ids_bitset()
+    outcome = prune_candidate_set(QueryType.SUBGRAPH, cs, hits,
+                                  store.max_id + 1)
+
+    truth = {
+        gid for gid, g in store.items() if brute_force_subiso(query, g)
+    }
+    donated = set(outcome.answer_free)
+    kept = set(outcome.candidates)
+    removed_by_filter = set(cs) - donated - kept
+
+    # Lemma 1: donations are true answers (no false positives).
+    assert donated <= truth, f"false positives donated: {donated - truth}"
+    # Lemmas 2/5: filtered-out graphs are true non-answers.
+    assert removed_by_filter.isdisjoint(truth), (
+        f"false negatives filtered: {removed_by_filter & truth}"
+    )
+    # Completeness: donated ∪ kept covers every true answer.
+    assert truth <= donated | kept
+
+    # Contribution accounting: every contribution id was either donated
+    # or removed; live contributions never overlap the kept set.
+    for entry_id, saved in outcome.contributions.items():
+        assert set(saved) <= donated | removed_by_filter, (
+            f"entry {entry_id} credited for ids still being tested"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_discovery_finds_all_true_containments(seed):
+    """The feature filter + verifier pipeline misses no containment."""
+    store, cache, query = build_scenario(seed)
+    hits = HitDiscovery().discover(query, cache.index)
+    containing_ids = {e.entry_id for e in hits.containing}
+    contained_ids = {e.entry_id for e in hits.contained}
+    for entry in cache.all_entries():
+        if brute_force_subiso(query, entry.query):
+            assert entry.entry_id in containing_ids
+        if brute_force_subiso(entry.query, query):
+            assert entry.entry_id in contained_ids
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1))
+def test_validity_bits_always_reflect_truth(seed):
+    """After validation, every set validity bit is a true statement."""
+    store, cache, _ = build_scenario(seed)
+    for entry in cache.all_entries():
+        for gid in entry.valid:
+            if gid not in store:
+                raise AssertionError(
+                    f"valid bit set for deleted graph {gid}"
+                )
+            holds = brute_force_subiso(entry.query, store.get(gid))
+            recorded = entry.answer.get(gid)
+            assert holds == recorded, (
+                f"valid bit {gid} contradicts ground truth: recorded "
+                f"{recorded}, actual {holds}"
+            )

@@ -1,0 +1,230 @@
+"""Zipf sampler, running statistics and stopwatch tests."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    RunningStats,
+    coefficient_of_variation_squared,
+    mean,
+    percentile,
+)
+from repro.util.timing import Stopwatch
+from repro.util.zipf import DEFAULT_ALPHA, ZipfSampler
+
+
+class TestZipf:
+    def test_default_alpha_matches_paper(self):
+        assert DEFAULT_ALPHA == 1.4
+
+    def test_bounds(self):
+        s = ZipfSampler(10, rng=random.Random(1))
+        for _ in range(500):
+            assert 0 <= s.sample() < 10
+
+    def test_pmf_sums_to_one(self):
+        s = ZipfSampler(50, alpha=1.4)
+        assert math.isclose(sum(s.pmf(k) for k in range(50)), 1.0)
+
+    def test_pmf_monotone_decreasing(self):
+        s = ZipfSampler(20, alpha=1.4)
+        probs = [s.pmf(k) for k in range(20)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_rank_zero_dominates(self):
+        s = ZipfSampler(1000, alpha=1.4, rng=random.Random(7))
+        draws = s.sample_many(4000)
+        share = draws.count(0) / len(draws)
+        # ζ-truncated p(0) ≈ 0.33 at α=1.4; allow generous sampling noise.
+        assert 0.25 < share < 0.42
+
+    def test_determinism(self):
+        a = ZipfSampler(30, rng=random.Random(5)).sample_many(50)
+        b = ZipfSampler(30, rng=random.Random(5)).sample_many(50)
+        assert a == b
+
+    def test_higher_alpha_more_skew(self):
+        flat = ZipfSampler(100, alpha=0.8, rng=random.Random(3))
+        steep = ZipfSampler(100, alpha=2.4, rng=random.Random(3))
+        assert steep.pmf(0) > flat.pmf(0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, alpha=0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5).pmf(5)
+        with pytest.raises(ValueError):
+            ZipfSampler(5).sample_many(-1)
+
+    @given(st.integers(1, 200), st.floats(0.3, 3.0))
+    def test_single_population_always_zero(self, n, alpha):
+        s = ZipfSampler(1, alpha=alpha, rng=random.Random(n))
+        assert s.sample() == 0
+
+
+class TestMeanPercentile:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty(self):
+        assert mean([]) == 0.0
+
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentile_interpolates(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_percentile_bounds(self):
+        data = [3, 1, 2]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 3
+
+    def test_percentile_single(self):
+        assert percentile([42], 75) == 42
+
+    def test_percentile_errors(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestCoV:
+    def test_uniform_distribution_is_low_variance(self):
+        assert coefficient_of_variation_squared([5, 5, 5, 5]) == 0.0
+
+    def test_known_value(self):
+        # data [1, 3]: mean 2, var 1 -> CoV² = 0.25
+        assert math.isclose(coefficient_of_variation_squared([1, 3]), 0.25)
+
+    def test_high_variance_exceeds_one(self):
+        # A hyper-exponential-like sample: mostly zeros, one huge value.
+        assert coefficient_of_variation_squared([0, 0, 0, 0, 100]) > 1.0
+
+    def test_degenerate_inputs(self):
+        assert coefficient_of_variation_squared([]) == 0.0
+        assert coefficient_of_variation_squared([7]) == 0.0
+        assert coefficient_of_variation_squared([0, 0]) == 0.0
+
+    @given(st.lists(st.floats(0.1, 100), min_size=2, max_size=30))
+    def test_matches_definition(self, data):
+        mu = sum(data) / len(data)
+        var = sum((x - mu) ** 2 for x in data) / len(data)
+        expected = var / (mu * mu)
+        assert math.isclose(
+            coefficient_of_variation_squared(data), expected, rel_tol=1e-9
+        )
+
+
+class TestRunningStats:
+    def test_empty(self):
+        s = RunningStats()
+        assert s.count == 0
+        assert s.mean == 0.0
+        assert s.variance == 0.0
+
+    def test_basic_moments(self):
+        s = RunningStats()
+        for x in [2.0, 4.0, 6.0]:
+            s.add(x)
+        assert math.isclose(s.mean, 4.0)
+        assert math.isclose(s.variance, 8.0 / 3.0)
+        assert s.minimum == 2.0 and s.maximum == 6.0
+        assert math.isclose(s.total, 12.0)
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=50))
+    def test_matches_batch_computation(self, data):
+        s = RunningStats()
+        for x in data:
+            s.add(x)
+        mu = sum(data) / len(data)
+        var = sum((x - mu) ** 2 for x in data) / len(data)
+        assert math.isclose(s.mean, mu, rel_tol=1e-9, abs_tol=1e-7)
+        assert math.isclose(s.variance, var, rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=20),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=20),
+    )
+    def test_merge_equals_concatenation(self, xs, ys):
+        a = RunningStats()
+        for x in xs:
+            a.add(x)
+        b = RunningStats()
+        for y in ys:
+            b.add(y)
+        a.merge(b)
+        c = RunningStats()
+        for v in xs + ys:
+            c.add(v)
+        assert a.count == c.count
+        assert math.isclose(a.mean, c.mean, rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(a.variance, c.variance, rel_tol=1e-6,
+                            abs_tol=1e-6)
+        assert a.minimum == c.minimum and a.maximum == c.maximum
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.add(5.0)
+        a.merge(RunningStats())
+        assert a.count == 1
+        b = RunningStats()
+        b.merge(a)
+        assert b.count == 1 and b.mean == 5.0
+
+    def test_repr(self):
+        s = RunningStats()
+        s.add(1.0)
+        assert "count=1" in repr(s)
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        first = sw.elapsed
+        with sw:
+            pass
+        assert sw.elapsed >= first >= 0.0
+
+    def test_stop_returns_interval(self):
+        sw = Stopwatch()
+        sw.start()
+        interval = sw.stop()
+        assert interval >= 0.0
+        assert sw.elapsed == pytest.approx(interval)
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
