@@ -5,18 +5,13 @@ Replays the paper's Figure 2 running example with real machinery and
 prints every state transition: the cached queries' ``Answer`` snapshots,
 their ``CGvalid`` indicators degrading under dataset changes, and the
 resulting candidate-set pruning for a final query — including the EVI
-comparison (which would have thrown everything away, twice).
+comparison (which would have thrown everything away, twice; the purge
+event hook makes both purges visible).
 
 Run:  python examples/consistency_deep_dive.py
 """
 
-from repro import (
-    CacheModel,
-    GraphCachePlus,
-    GraphStore,
-    LabeledGraph,
-    VF2PlusMatcher,
-)
+from repro import GCConfig, GraphCacheService, GraphStore, LabeledGraph
 
 
 def path(labels: str) -> LabeledGraph:
@@ -25,9 +20,9 @@ def path(labels: str) -> LabeledGraph:
     )
 
 
-def show_cache(gc: GraphCachePlus, store: GraphStore) -> None:
-    gc.cache.ensure_consistency(store)
-    entries = gc.cache.all_entries()
+def show_cache(service: GraphCacheService) -> None:
+    service.refresh()
+    entries = service.cache.all_entries()
     if not entries:
         print("    cache: (empty)")
         return
@@ -47,35 +42,39 @@ def main() -> None:
     ]
 
     store = GraphStore.from_graphs(initial)
-    gc = GraphCachePlus(store, VF2PlusMatcher(), model=CacheModel.CON)
+    service = GraphCacheService(store, GCConfig(model="CON"))
 
     print("== T1: query g' = C-C-O executes and enters the cache")
-    result = gc.execute(path("CCO"))
+    result = service.execute(path("CCO"))
     print(f"    answer(g') = {sorted(result.answer_ids)}")
-    show_cache(gc, store)
+    show_cache(service)
 
     print("\n== T2: dataset changes — ADD G4, UR on G3 (edge removed)")
-    g4 = store.add_graph(path("CCO"))
-    store.remove_edge(3, 2, 3)
+    g4 = service.add_graph(path("CCO"))
+    service.remove_edge(3, 2, 3)
     print(f"    G{g4} added; G3 lost its O-O edge")
-    show_cache(gc, store)
+    show_cache(service)
     print("    note: g' lost validity on G3 (positive faded under UR)")
     print("    and has no validity on the new G4 — but kept G0, G1, G2.")
 
     print("\n== T3: query g'' = C-C executes and enters the cache")
-    result = gc.execute(path("CC"))
+    result = service.execute(path("CC"))
     print(f"    answer(g'') = {sorted(result.answer_ids)}")
-    show_cache(gc, store)
+    show_cache(service)
 
     print("\n== T4: dataset changes — DEL G0, UA on G1 (edge added)")
-    store.delete_graph(0)
-    store.add_edge(1, 0, 2)
-    show_cache(gc, store)
+    service.delete_graph(0)
+    service.add_edge(1, 0, 2)
+    show_cache(service)
     print("    note: deleted G0 invalidated everywhere; G1's negative "
           "relations faded under UA.")
 
-    print("\n== T5: new query g = C-C-O arrives")
-    result = gc.execute(path("CCO"))
+    print("\n== T5: new query g = C-C-O arrives — first the plan...")
+    plan = service.explain(path("CCO"))
+    for line in plan.describe().splitlines():
+        print(f"    | {line}")
+    print("   ...then the execution:")
+    result = service.execute(path("CCO"))
     m = result.metrics
     print(f"    answer(g) = {sorted(result.answer_ids)}")
     print(f"    sub-iso tests executed: {m.method_tests} of "
@@ -86,20 +85,24 @@ def main() -> None:
 
     # The EVI comparison on the identical history.
     store2 = GraphStore.from_graphs(initial)
-    evi = GraphCachePlus(store2, VF2PlusMatcher(), model=CacheModel.EVI)
-    evi.execute(path("CCO"))
-    store2.add_graph(path("CCO"))
-    store2.remove_edge(3, 2, 3)
-    evi.execute(path("CC"))
-    store2.delete_graph(0)
-    store2.add_edge(1, 0, 2)
-    result_evi = evi.execute(path("CCO"))
-    print("\n== The same history under EVI:")
-    print(f"    answer(g) = {sorted(result_evi.answer_ids)} (same, as "
-          f"proved in §6)")
-    print(f"    but sub-iso tests executed: "
-          f"{result_evi.metrics.method_tests} — the cache was purged at "
-          f"T2 and T4, so nothing was left to help.")
+    with GraphCacheService(store2, GCConfig(model="EVI")) as evi:
+        evi.on_purge(lambda event: print(
+            f"    [purge hook] EVI dropped {len(event.entry_ids)} "
+            f"cached entr{'y' if len(event.entry_ids) == 1 else 'ies'}"
+        ))
+        print("\n== The same history under EVI:")
+        evi.execute(path("CCO"))
+        evi.add_graph(path("CCO"))
+        evi.remove_edge(3, 2, 3)
+        evi.execute(path("CC"))
+        evi.delete_graph(0)
+        evi.add_edge(1, 0, 2)
+        result_evi = evi.execute(path("CCO"))
+        print(f"    answer(g) = {sorted(result_evi.answer_ids)} (same, as "
+              f"proved in §6)")
+        print(f"    but sub-iso tests executed: "
+              f"{result_evi.metrics.method_tests} — the cache was purged "
+              f"at T2 and T4, so nothing was left to help.")
 
 
 if __name__ == "__main__":

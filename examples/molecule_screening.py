@@ -19,8 +19,8 @@ import random
 import time
 
 from repro import (
-    CacheModel,
-    GraphCachePlus,
+    GCConfig,
+    GraphCacheService,
     GraphStore,
     MethodMRunner,
     VF2PlusMatcher,
@@ -96,8 +96,8 @@ def main() -> None:
                                  std_vertices=9, max_vertices=70, seed=7)
 
     bare = MethodMRunner(GraphStore.from_graphs(library), VF2PlusMatcher())
-    cached = GraphCachePlus(GraphStore.from_graphs(library),
-                            VF2PlusMatcher(), model=CacheModel.CON)
+    cached = GraphCacheService(GraphStore.from_graphs(library),
+                               GCConfig(model="CON", matcher="vf2+"))
 
     print("Screening with bare VF2+ ...")
     bare_time, bare_tests, bare_answers = run_screen(bare, library, seed=3)
@@ -112,7 +112,7 @@ def main() -> None:
     print(f"{'speedup':<14}{bare_time / con_time:>9.2f}x"
           f"{bare_tests / max(con_tests, 1):>15.2f}x")
 
-    s = cached.monitor.summary()
+    s = cached.summary()
     print(f"\nCache anatomy: {s['total_containing_hits']:.0f} containing "
           f"hits, {s['total_contained_hits']:.0f} contained hits, "
           f"{s['queries_with_exact_hit']:.0f} queries with an exact hit, "

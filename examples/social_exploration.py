@@ -22,8 +22,8 @@ import random
 import time
 
 from repro import (
-    CacheModel,
-    GraphCachePlus,
+    GCConfig,
+    GraphCacheService,
     GraphStore,
     LabeledGraph,
     MethodMRunner,
@@ -100,8 +100,14 @@ def drive(runner, seed: int):
     for _ in range(SESSIONS):
         for _ in range(rng.randint(0, 2)):
             social_churn(runner.store, rng)
-        for pattern in exploration_session(rng):
-            result = runner.execute(pattern)
+        patterns = exploration_session(rng)
+        if isinstance(runner, GraphCacheService):
+            # An analyst session is a natural batch: one consistency pass
+            # covers every narrowing step.
+            results = runner.execute_many(patterns)
+        else:
+            results = [runner.execute(p) for p in patterns]
+        for result in results:
             tests += result.metrics.method_tests
             answers.append(result.answer_ids)
     return time.perf_counter() - start, tests, answers
@@ -113,8 +119,8 @@ def main() -> None:
     groups = [random_group(rng) for _ in range(NUM_GROUPS)]
 
     bare = MethodMRunner(GraphStore.from_graphs(groups), VF2PlusMatcher())
-    cached = GraphCachePlus(GraphStore.from_graphs(groups),
-                            VF2PlusMatcher(), model=CacheModel.CON)
+    cached = GraphCacheService(GraphStore.from_graphs(groups),
+                               GCConfig(model="CON", matcher="vf2+"))
 
     print(f"Running {SESSIONS} exploration sessions (broad → narrow) "
           f"with live group churn...\n")
@@ -128,7 +134,7 @@ def main() -> None:
     print(f"{'speedup':<14}{bare_time / con_time:>9.2f}x"
           f"{bare_tests / max(con_tests, 1):>15.2f}x")
 
-    s = cached.monitor.summary()
+    s = cached.summary()
     print(f"\nWhy it works: narrowing a pattern makes it a *supergraph* of "
           f"the previous query;\nGC+ recorded "
           f"{s['total_contained_hits']:.0f} such contained-query hits and "

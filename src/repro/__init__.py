@@ -9,22 +9,33 @@ relations, and keeping the cache consistent under dataset changes with
 either of two models (EVI — evict on change; CON — per-relation validity
 tracking).
 
-Quickstart::
+Quickstart (the service-layer API)::
 
-    from repro import (
-        GraphCachePlus, GraphStore, LabeledGraph, VF2PlusMatcher,
-    )
+    from repro import GCConfig, GraphCacheService, GraphStore, LabeledGraph
 
     triangle = LabeledGraph.from_edges("CCO", [(0, 1), (1, 2), (0, 2)])
     store = GraphStore.from_graphs([triangle])
-    gc = GraphCachePlus(store, VF2PlusMatcher())
-    result = gc.execute(LabeledGraph.from_edges("CO", [(0, 1)]))
-    print(sorted(result.answer_ids))   # -> [0]
+    with GraphCacheService(store, GCConfig(model="CON")) as service:
+        result = service.execute(LabeledGraph.from_edges("CO", [(0, 1)]))
+        print(sorted(result.answer_ids))   # -> [0]
+
+``GraphCacheService`` also offers ``execute_many`` (one consistency pass
+per batch), ``explain`` (read-only query plans), cache event hooks and a
+dataset mutation API; see :mod:`repro.api`.  The old ``GraphCachePlus``
+constructor still works but is deprecated.
 
 See ``examples/`` for realistic scenarios and ``benchmarks/`` for the
 paper's experiments.
 """
 
+from repro.api import (
+    CacheEvent,
+    CacheEventKind,
+    GCConfig,
+    GraphCacheService,
+    PlanStep,
+    QueryPlan,
+)
 from repro.cache.entry import CacheEntry, QueryType
 from repro.cache.manager import CacheManager
 from repro.cache.models import CacheModel
@@ -47,6 +58,12 @@ from repro.util.bitset import BitSet
 __version__ = "1.0.0"
 
 __all__ = [
+    "GraphCacheService",
+    "GCConfig",
+    "QueryPlan",
+    "PlanStep",
+    "CacheEvent",
+    "CacheEventKind",
     "GraphCachePlus",
     "QueryResult",
     "MethodMRunner",

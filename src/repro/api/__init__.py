@@ -1,0 +1,30 @@
+"""The public service-layer API of the GC+ reproduction.
+
+Three pieces compose the surface callers should program against:
+
+* :class:`GCConfig` — frozen, validated configuration (replaces the
+  loose-kwarg constructors; ``from_dict``/``to_dict`` for CLI and bench
+  wiring, ``replace`` for overrides);
+* :class:`GraphCacheService` — the session facade: ``execute``,
+  batch-amortised ``execute_many``, read-only ``explain``, event hooks,
+  and dataset mutation passthroughs;
+* :class:`QueryPlan` / :class:`PlanStep` — structured explain receipts;
+  :class:`CacheEvent` / :class:`CacheEventKind` — hook payloads.
+
+The legacy :class:`repro.GraphCachePlus` constructor remains as a thin
+deprecated shim over :class:`GraphCacheService`.
+"""
+
+from repro.api.config import GCConfig
+from repro.api.events import CacheEvent, CacheEventKind
+from repro.api.plan import PlanStep, QueryPlan
+from repro.api.service import GraphCacheService
+
+__all__ = [
+    "GCConfig",
+    "GraphCacheService",
+    "QueryPlan",
+    "PlanStep",
+    "CacheEvent",
+    "CacheEventKind",
+]

@@ -1,0 +1,172 @@
+"""Typed, validated configuration for the GC+ service layer.
+
+:class:`GCConfig` replaces the kwarg sprawl previously spread across
+``GraphCachePlus.__init__``, ``CacheManager.__init__`` and the bench
+harness with one frozen dataclass that
+
+* validates every field eagerly (capacities positive, ``retro_budget``
+  non-negative, policy/matcher names checked against the registries with
+  the valid choices spelled out in the error message);
+* coerces strings for enum-valued fields (``model="con"``,
+  ``query_type="subgraph"``) so CLI flags and JSON configs wire straight
+  through;
+* round-trips through plain dicts (:meth:`GCConfig.from_dict` /
+  :meth:`GCConfig.to_dict`) for CLI, bench and file-based wiring;
+* supports functional overrides via :meth:`GCConfig.replace`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.cache.entry import QueryType
+from repro.cache.manager import (
+    DEFAULT_CACHE_CAPACITY,
+    DEFAULT_WINDOW_CAPACITY,
+)
+from repro.cache.models import CacheModel
+from repro.cache.replacement import POLICIES
+from repro.matching import MATCHERS
+
+__all__ = ["GCConfig", "DEFAULT_CACHE_CAPACITY", "DEFAULT_WINDOW_CAPACITY"]
+
+
+def _coerce_model(value: CacheModel | str) -> CacheModel:
+    if isinstance(value, CacheModel):
+        return value
+    if isinstance(value, str):
+        try:
+            return CacheModel[value.upper()]
+        except KeyError:
+            pass
+    raise ValueError(
+        f"unknown cache model {value!r}; choose from "
+        f"{sorted(m.name for m in CacheModel)}"
+    )
+
+
+def _require_int(name: str, value: object) -> int:
+    # bool is an int subclass but True/False capacities are always a bug.
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(
+            f"{name} must be an integer, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    return value
+
+
+def _coerce_query_type(value: QueryType | str) -> QueryType:
+    if isinstance(value, QueryType):
+        return value
+    if isinstance(value, str):
+        try:
+            return QueryType[value.upper()]
+        except KeyError:
+            pass
+    raise ValueError(
+        f"unknown query type {value!r}; choose from "
+        f"{sorted(t.name.lower() for t in QueryType)}"
+    )
+
+
+@dataclass(frozen=True)
+class GCConfig:
+    """Everything needed to stand up a :class:`~repro.api.GraphCacheService`.
+
+    >>> GCConfig(model="con", policy="pin").model
+    <CacheModel.CON: 'CON'>
+    >>> GCConfig().replace(cache_capacity=10).cache_capacity
+    10
+    >>> GCConfig.from_dict({"policy": "hd"}).to_dict()["policy"]
+    'hd'
+    """
+
+    model: CacheModel = CacheModel.CON
+    query_type: QueryType = QueryType.SUBGRAPH
+    matcher: str = "vf2+"
+    internal_verifier: str | None = None
+    cache_capacity: int = DEFAULT_CACHE_CAPACITY
+    window_capacity: int = DEFAULT_WINDOW_CAPACITY
+    policy: str = "hd"
+    caching_enabled: bool = True
+    retro_budget: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "model", _coerce_model(self.model))
+        object.__setattr__(self, "query_type",
+                           _coerce_query_type(self.query_type))
+        if not isinstance(self.matcher, str) or self.matcher.lower() not in MATCHERS:
+            raise ValueError(
+                f"unknown matcher {self.matcher!r}; choose from "
+                f"{sorted(MATCHERS)}"
+            )
+        object.__setattr__(self, "matcher", self.matcher.lower())
+        if self.internal_verifier is not None:
+            if (not isinstance(self.internal_verifier, str)
+                    or self.internal_verifier.lower() not in MATCHERS):
+                raise ValueError(
+                    f"unknown internal verifier {self.internal_verifier!r}; "
+                    f"choose from {sorted(MATCHERS)}"
+                )
+            object.__setattr__(self, "internal_verifier",
+                               self.internal_verifier.lower())
+        if not isinstance(self.policy, str) or self.policy.lower() not in POLICIES:
+            raise ValueError(
+                f"unknown replacement policy {self.policy!r}; choose from "
+                f"{sorted(POLICIES)}"
+            )
+        object.__setattr__(self, "policy", self.policy.lower())
+        for name in ("cache_capacity", "window_capacity", "retro_budget"):
+            _require_int(name, getattr(self, name))
+        if self.cache_capacity <= 0:
+            raise ValueError(
+                f"cache_capacity must be positive, got {self.cache_capacity}"
+            )
+        if self.window_capacity <= 0:
+            raise ValueError(
+                f"window_capacity must be positive, got {self.window_capacity}"
+            )
+        if self.retro_budget < 0:
+            raise ValueError(
+                f"retro_budget must be >= 0, got {self.retro_budget} "
+                f"(0 disables retrospective revalidation)"
+            )
+
+    # ------------------------------------------------------------------
+    # Derivation and (de)serialisation
+    # ------------------------------------------------------------------
+    def replace(self, **overrides: Any) -> "GCConfig":
+        """A copy with ``overrides`` applied (re-validated)."""
+        unknown = set(overrides) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise ValueError(
+                f"unknown config fields {sorted(unknown)}; valid fields are "
+                f"{sorted(f.name for f in dataclasses.fields(self))}"
+            )
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "GCConfig":
+        """Build a config from a plain dict (CLI args, JSON, bench scales).
+
+        Unknown keys are rejected with the valid key set in the message —
+        a typoed setting must never be silently ignored.
+        """
+        return cls().replace(**data)
+
+    def to_dict(self) -> dict[str, Any]:
+        """A plain, JSON-serialisable dict that round-trips via
+        :meth:`from_dict`."""
+        return {
+            "model": self.model.name,
+            "query_type": self.query_type.value,
+            "matcher": self.matcher,
+            "internal_verifier": self.internal_verifier,
+            "cache_capacity": self.cache_capacity,
+            "window_capacity": self.window_capacity,
+            "policy": self.policy,
+            "caching_enabled": self.caching_enabled,
+            "retro_budget": self.retro_budget,
+        }

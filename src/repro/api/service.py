@@ -1,0 +1,410 @@
+"""GraphCacheService — the service-layer session facade for GC+.
+
+The full per-query flow of the paper (Figure 1, §4) lives here:
+
+1. the Dataset Manager checks whether the dataset changed since the
+   cache last reflected it; if so the Cache Validator runs (EVI purge,
+   or CON log analysis + validity refresh);
+2. the GC+sub / GC+super processors discover containment relations
+   between the query and cached queries;
+3. the Candidate Set Pruner applies formulas (1)-(5), producing
+   test-free answers and a reduced candidate set;
+4. Mverifier (Method M) sub-iso tests the reduced candidate set;
+5. the executed query, its answer, and per-entry benefit statistics are
+   fed back to the Cache Manager (window admission, replacement).
+
+On top of the per-query engine the service adds the session surface the
+old ``GraphCachePlus`` constructor lacked:
+
+* construction from one validated :class:`~repro.api.config.GCConfig`;
+* ``execute_many(queries)`` — one consistency pass amortised over a
+  whole batch (``ensure_consistency`` used to run per query);
+* ``explain(query)`` — a read-only :class:`~repro.api.plan.QueryPlan`;
+* event hooks (``on_admission`` / ``on_eviction`` / ``on_purge`` /
+  ``on_promotion``) so ops code stops reaching into private fields;
+* a mutation API (``apply``, ``add_graph``, ...) so callers never juggle
+  the :class:`GraphStore` and the cache separately;
+* context-manager semantics for session scoping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.api.config import GCConfig
+from repro.api.events import CacheEvent, CacheEventKind
+from repro.api.plan import PlanStep, QueryPlan
+from repro.cache.manager import (
+    NOOP_CONSISTENCY,
+    CacheManager,
+    ConsistencyReport,
+)
+from repro.dataset.change_plan import AppliedOp, ChangePlan
+from repro.dataset.store import GraphStore
+from repro.graphs.features import GraphFeatures
+from repro.graphs.graph import LabeledGraph
+from repro.matching import MATCHERS, make_matcher
+from repro.matching.base import SubgraphMatcher
+from repro.runtime.method_m import MethodM
+from repro.runtime.monitor import QueryMetrics, QueryResult, StatisticsMonitor
+from repro.runtime.processors import HitDiscovery
+from repro.runtime.pruner import prune_candidate_set
+from repro.util.bitset import BitSet
+from repro.util.timing import Stopwatch
+
+__all__ = ["GraphCacheService"]
+
+EventHook = Callable[[CacheEvent], None]
+
+
+class GraphCacheService:
+    """A GC+ session over one :class:`GraphStore`.
+
+    >>> from repro.api import GCConfig, GraphCacheService
+    >>> from repro.dataset.store import GraphStore
+    >>> from repro.graphs.graph import LabeledGraph
+    >>> store = GraphStore.from_graphs(
+    ...     [LabeledGraph.from_edges("CCO", [(0, 1), (1, 2)])])
+    >>> with GraphCacheService(store, GCConfig(model="CON")) as service:
+    ...     result = service.execute(
+    ...         LabeledGraph.from_edges("CO", [(0, 1)]))
+    >>> sorted(result.answer_ids)
+    [0]
+    """
+
+    def __init__(self, store: GraphStore, config: GCConfig | None = None,
+                 *, matcher: SubgraphMatcher | None = None,
+                 internal_verifier: SubgraphMatcher | None = None,
+                 **overrides) -> None:
+        """``config`` defaults to ``GCConfig()``; keyword ``overrides``
+        are applied on top via :meth:`GCConfig.replace`.  ``matcher`` and
+        ``internal_verifier`` accept ready instances and take precedence
+        over the corresponding config names."""
+        config = config if config is not None else GCConfig()
+        if overrides:
+            config = config.replace(**overrides)
+        self.store = store
+        if matcher is None:
+            matcher = make_matcher(config.matcher)
+        else:
+            # Keep the config honest about the session's effective
+            # matcher, so config.to_dict() reconstructs this system (a
+            # custom instance not in the registry can't be named).
+            config = self._sync_name(config, "matcher", matcher)
+        self.method_m = MethodM(matcher, store)
+        self.query_type = config.query_type
+        self.cache = CacheManager.from_config(config)
+        if internal_verifier is None and config.internal_verifier:
+            internal_verifier = make_matcher(config.internal_verifier)
+        elif internal_verifier is not None:
+            config = self._sync_name(config, "internal_verifier",
+                                     internal_verifier)
+        self.config = config
+        self.discovery = HitDiscovery(internal_verifier)
+        self.monitor = StatisticsMonitor()
+        self.caching_enabled = config.caching_enabled
+        # Retrospective revalidation (§8 future work; beyond-paper
+        # extension, off by default).  ``retro_budget`` bounds the
+        # off-critical-path sub-iso tests spent per query on re-earning
+        # lost CGvalid bits for high-benefit entries.
+        self.revalidator = None
+        if config.retro_budget > 0:
+            from repro.cache.revalidation import RetrospectiveRevalidator
+
+            self.revalidator = RetrospectiveRevalidator(config.retro_budget)
+        self._query_counter = 0
+        self._closed = False
+        self._hooks: dict[CacheEventKind, list[EventHook]] = {
+            kind: [] for kind in CacheEventKind
+        }
+        # The cache's event listener is attached lazily by the first
+        # hook registration, so hook-free sessions pay no event cost.
+
+    @staticmethod
+    def _sync_name(config: GCConfig, field: str,
+                   instance: SubgraphMatcher) -> GCConfig:
+        name = getattr(instance, "name", None)
+        if name in MATCHERS and getattr(config, field) != name:
+            return config.replace(**{field: name})
+        return config
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "GraphCacheService":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """End the session: detach hooks; further queries raise."""
+        self._closed = True
+        self.cache.event_listener = None
+        for hooks in self._hooks.values():
+            hooks.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("GraphCacheService session is closed")
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def _dispatch_event(self, event: CacheEvent) -> None:
+        for hook in self._hooks[event.kind]:
+            hook(event)
+
+    def _register(self, kind: CacheEventKind, hook: EventHook) -> EventHook:
+        self._check_open()
+        self._hooks[kind].append(hook)
+        self.cache.event_listener = self._dispatch_event
+        return hook
+
+    def on_admission(self, hook: EventHook) -> EventHook:
+        """Call ``hook(event)`` when an executed query's entry has been
+        admitted — fired once the admission settled, after any window
+        promotion/eviction it triggered.  Usable as a decorator; returns
+        ``hook`` unchanged."""
+        return self._register(CacheEventKind.ADMISSION, hook)
+
+    def on_promotion(self, hook: EventHook) -> EventHook:
+        """Call ``hook(event)`` when a window batch merges into the cache."""
+        return self._register(CacheEventKind.PROMOTION, hook)
+
+    def on_eviction(self, hook: EventHook) -> EventHook:
+        """Call ``hook(event)`` when the replacement policy evicts."""
+        return self._register(CacheEventKind.EVICTION, hook)
+
+    def on_purge(self, hook: EventHook) -> EventHook:
+        """Call ``hook(event)`` when the whole cache is cleared."""
+        return self._register(CacheEventKind.PURGE, hook)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def execute(self, query: LabeledGraph) -> QueryResult:
+        """Answer one graph-pattern query, maintaining the cache."""
+        self._check_open()
+        report = self.cache.ensure_consistency(self.store)
+        return self._execute_one(query, report)
+
+    def execute_many(self, queries: Iterable[LabeledGraph]) -> list[QueryResult]:
+        """Answer a batch of queries with **one** consistency pass.
+
+        The full ``ensure_consistency`` protocol runs on the first query
+        and its timings land on that result's metrics; later queries pay
+        only an O(1) staleness guard.  Should the dataset mutate
+        *mid-batch* anyway (a generator side effect, an event hook, raw
+        store access), the guard notices and the protocol runs again —
+        batching never trades away answer correctness.
+        """
+        self._check_open()
+        results: list[QueryResult] = []
+        first = True
+        for query in queries:
+            if first or self.cache.pending_log_records(self.store):
+                report = self.cache.ensure_consistency(self.store)
+            else:
+                report = NOOP_CONSISTENCY
+            first = False
+            results.append(self._execute_one(query, report))
+        return results
+
+    def _execute_one(self, query: LabeledGraph,
+                     report: ConsistencyReport) -> QueryResult:
+        query_index = self._query_counter
+        self._query_counter += 1
+        metrics = QueryMetrics()
+
+        # (1) Consistency: already reconciled by the caller; book the cost.
+        metrics.analyze_seconds = report.analyze_seconds
+        metrics.validate_seconds = report.validate_seconds
+        metrics.purge_seconds = report.purge_seconds
+
+        cs_m = self.store.ids_bitset()
+        metrics.candidate_size = cs_m.cardinality()
+        universe = self.store.max_id + 1
+
+        # (2) Hit discovery (GC+sub / GC+super processors).
+        discovery_sw = Stopwatch()
+        with discovery_sw:
+            features = GraphFeatures.of(query)
+            hits = self.discovery.discover(query, self.cache.index, features)
+        metrics.discovery_seconds = discovery_sw.elapsed
+        metrics.containing_hits = len(hits.containing)
+        metrics.contained_hits = len(hits.contained)
+        metrics.exact_hits = len(hits.exact)
+        metrics.internal_tests = hits.internal_tests
+
+        # (3) Candidate set pruning (formulas (1)-(5)).
+        prune_sw = Stopwatch()
+        with prune_sw:
+            outcome = prune_candidate_set(self.query_type, cs_m, hits,
+                                          universe)
+        metrics.prune_seconds = prune_sw.elapsed
+        metrics.exact_hit_valid = outcome.exact_hit
+        metrics.empty_shortcut = outcome.empty_shortcut
+
+        # (4) Method-M verification of the reduced candidate set.
+        verify_sw = Stopwatch()
+        with verify_sw:
+            verified, tests = self.method_m.verify(
+                query, outcome.candidates, self.query_type
+            )
+            answer = verified | outcome.answer_free
+        metrics.verify_seconds = verify_sw.elapsed
+        metrics.method_tests = tests
+        metrics.pruned_candidate_size = outcome.candidates.cardinality()
+        metrics.tests_saved = metrics.candidate_size - tests
+        metrics.answer_size = answer.cardinality()
+
+        # (5) Feed back to the Cache Manager: benefit credits + admission.
+        admission_sw = Stopwatch()
+        with admission_sw:
+            self._credit_contributions(query, outcome.contributions,
+                                       query_index)
+            if self.caching_enabled:
+                self.cache.admit(query, answer, self.store, query_index)
+        metrics.admission_seconds = admission_sw.elapsed
+
+        # (6, extension) Retrospective revalidation, off the critical path.
+        if self.revalidator is not None and self.caching_enabled:
+            retro_sw = Stopwatch()
+            with retro_sw:
+                retro = self.revalidator.run_round(
+                    self.cache, self.store, self.method_m.matcher
+                )
+            metrics.retro_seconds = retro_sw.elapsed
+            metrics.retro_tests = retro.tests_spent
+
+        self.monitor.record(metrics)
+        return QueryResult(answer=answer, metrics=metrics)
+
+    def _credit_contributions(self, query: LabeledGraph,
+                              contributions: dict[int, BitSet],
+                              query_index: int) -> None:
+        """Credit each contributing entry with its alleviated tests (R)
+        and their estimated cost (C) — the PIN/PINC inputs.
+
+        C uses the O(1) population estimate (query size × mean live graph
+        size per saved test) rather than per-graph sizes: the heuristic
+        only needs to separate cheap saved tests from expensive ones
+        across *entries*, and entries always save tests of one query at a
+        time, so the per-graph spread washes out.
+        """
+        cost_per_test = query.num_vertices * self.store.mean_vertices
+        for entry_id, saved in contributions.items():
+            count = saved.cardinality()
+            if count == 0:
+                continue
+            self.cache.credit(entry_id, count, count * cost_per_test,
+                              query_index)
+
+    # ------------------------------------------------------------------
+    # Explain
+    # ------------------------------------------------------------------
+    def explain(self, query: LabeledGraph) -> QueryPlan:
+        """What the cache would do for ``query`` — without doing it.
+
+        Runs hit discovery and the pruning formulas read-only: no
+        consistency pass, no admission, no benefit crediting, no monitor
+        record.  Pending (unvalidated) dataset changes are reported on
+        the plan instead of being reconciled.
+        """
+        self._check_open()
+        features = GraphFeatures.of(query)
+        hits = self.discovery.discover(query, self.cache.index, features)
+        cs_m = self.store.ids_bitset()
+        outcome = prune_candidate_set(self.query_type, cs_m, hits,
+                                      self.store.max_id + 1)
+        # Zero-effect applications (e.g. a hit whose CGvalid bits all
+        # faded) are real discoveries but contributed nothing — they stay
+        # visible in the hit lists, not as formula steps.
+        steps = tuple(
+            PlanStep("(1) answer donation", entry_id, frozenset(donated))
+            for entry_id, donated in outcome.donations.items()
+            if donated.cardinality()
+        ) + tuple(
+            PlanStep("(4)+(5) candidate filter", entry_id, frozenset(removed))
+            for entry_id, removed in outcome.filtered.items()
+            if removed.cardinality()
+        )
+        return QueryPlan(
+            query_vertices=query.num_vertices,
+            query_edges=query.num_edges,
+            candidate_size=cs_m.cardinality(),
+            containing_hits=tuple(e.entry_id for e in hits.containing),
+            contained_hits=tuple(e.entry_id for e in hits.contained),
+            exact_hits=tuple(e.entry_id for e in hits.exact),
+            internal_tests=hits.internal_tests,
+            steps=steps,
+            test_free_answers=frozenset(outcome.answer_free),
+            reduced_candidates=frozenset(outcome.candidates),
+            exact_hit=outcome.exact_hit,
+            empty_shortcut=outcome.empty_shortcut,
+            pending_log_records=self.cache.pending_log_records(self.store),
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation API — callers need not touch the GraphStore directly
+    # ------------------------------------------------------------------
+    def apply(self, plan: ChangePlan, query_index: int) -> list[AppliedOp]:
+        """Fire every due batch of a :class:`ChangePlan` at this stream
+        position; the next query (or batch) reconciles the cache."""
+        self._check_open()
+        return plan.apply_due(self.store, query_index)
+
+    def add_graph(self, graph: LabeledGraph) -> int:
+        """ADD a dataset graph; returns its new id."""
+        self._check_open()
+        return self.store.add_graph(graph)
+
+    def delete_graph(self, graph_id: int) -> None:
+        """DEL a dataset graph (its id is never reused)."""
+        self._check_open()
+        self.store.delete_graph(graph_id)
+
+    def add_edge(self, graph_id: int, u: int, v: int) -> None:
+        """UA: add an edge to a dataset graph."""
+        self._check_open()
+        self.store.add_edge(graph_id, u, v)
+
+    def remove_edge(self, graph_id: int, u: int, v: int) -> None:
+        """UR: remove an edge from a dataset graph."""
+        self._check_open()
+        self.store.remove_edge(graph_id, u, v)
+
+    def refresh(self) -> ConsistencyReport:
+        """Run the consistency protocol now (normally it runs lazily on
+        the next query); useful before inspecting cache entries."""
+        self._check_open()
+        return self.cache.ensure_consistency(self.store)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def matcher(self) -> SubgraphMatcher:
+        return self.method_m.matcher
+
+    @property
+    def queries_executed(self) -> int:
+        return self._query_counter
+
+    def summary(self) -> dict[str, float]:
+        """The monitor's flat aggregate dict for this session."""
+        return self.monitor.summary()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"GraphCacheService(model={self.cache.model}, "
+            f"method={self.matcher.name}, type={self.query_type}, "
+            f"queries={self._query_counter}, {state})"
+        )

@@ -202,6 +202,7 @@ def figure6(harness: ExperimentHarness,
             f"{matcher} qtime ms": base.avg_query_time_ms,
             "EVI qtime ms": evi.avg_query_time_ms,
             "EVI overhead ms": evi.avg_overhead_ms,
+            "EVI purge ms": evi.avg_purge_ms,
             "CON qtime ms": con.avg_query_time_ms,
             "CON overhead ms": con.avg_overhead_ms,
             "CON-excl % of overhead": con_exclusive * 100.0,
@@ -254,21 +255,16 @@ def ablation_policies(harness: ExperimentHarness, workload: str = "ZZ",
                       policies: tuple[str, ...] = ("hd", "pin", "pinc",
                                                    "lru", "lfu")):
     """Replacement-policy ablation: HD should be on par with the best."""
-    from repro.cache.models import CacheModel
-    from repro.matching import make_matcher
-    from repro.runtime.engine import GraphCachePlus
+    from repro.api import GraphCacheService
 
     s = harness.scale
     base = harness.run(workload, matcher, "base")
     rows = []
     for policy in policies:
+        config = s.cache_config("CON", matcher).replace(policy=policy)
         qtime, tests = _run_custom(
             harness, workload,
-            lambda store, policy=policy: GraphCachePlus(
-                store, make_matcher(matcher), model=CacheModel.CON,
-                cache_capacity=s.cache_capacity,
-                window_capacity=s.window_capacity, policy=policy,
-            ),
+            lambda store, config=config: GraphCacheService(store, config),
         )
         rows.append({
             "policy": policy,
@@ -284,22 +280,19 @@ def ablation_cache_size(harness: ExperimentHarness, workload: str = "ZZ",
                         matcher: str = "vf2+",
                         capacities: tuple[int, ...] = (25, 50, 100, 200)):
     """Speedup vs cache capacity (paper keeps the 'meagre' 100)."""
-    from repro.cache.models import CacheModel
-    from repro.matching import make_matcher
-    from repro.runtime.engine import GraphCachePlus
+    from repro.api import GraphCacheService
 
     s = harness.scale
     base = harness.run(workload, matcher, "base")
     rows = []
     for capacity in capacities:
+        config = s.cache_config("CON", matcher).replace(
+            cache_capacity=capacity,
+            window_capacity=min(s.window_capacity, max(1, capacity // 5)),
+        )
         qtime, tests = _run_custom(
             harness, workload,
-            lambda store, capacity=capacity: GraphCachePlus(
-                store, make_matcher(matcher), model=CacheModel.CON,
-                cache_capacity=capacity,
-                window_capacity=min(s.window_capacity,
-                                    max(1, capacity // 5)),
-            ),
+            lambda store, config=config: GraphCacheService(store, config),
         )
         rows.append({
             "cache capacity": capacity,
@@ -321,9 +314,8 @@ def ablation_churn(harness: ExperimentHarness, workload: str = "ZZ",
     more slowly (only touched relations lose validity) — the paper's
     central qualitative claim.
     """
-    from repro.cache.models import CacheModel
+    from repro.api import GraphCacheService
     from repro.matching import make_matcher
-    from repro.runtime.engine import GraphCachePlus
     from repro.runtime.method_m import MethodMRunner
 
     s = harness.scale
@@ -337,11 +329,8 @@ def ablation_churn(harness: ExperimentHarness, workload: str = "ZZ",
                     return MethodMRunner(store, make_matcher(matcher))
             else:
                 def make_runner(store, model=model):
-                    return GraphCachePlus(
-                        store, make_matcher(matcher),
-                        model=CacheModel[model],
-                        cache_capacity=s.cache_capacity,
-                        window_capacity=s.window_capacity,
+                    return GraphCacheService(
+                        store, s.cache_config(model, matcher)
                     )
             results[model] = _run_custom(
                 harness, workload, make_runner, num_batches=batches
@@ -368,11 +357,9 @@ def ablation_retro(harness: ExperimentHarness, workload: str = "ZZ",
     ("retro tests") but restores zero-test exact hits; the table reports
     both sides so the trade-off is visible.  Budget 0 is plain CON.
     """
-    from repro.cache.models import CacheModel
+    from repro.api import GraphCacheService
     from repro.dataset.change_plan import ChangePlan
     from repro.dataset.store import GraphStore
-    from repro.matching import make_matcher
-    from repro.runtime.engine import GraphCachePlus
 
     s = harness.scale
     wl = harness.workload(workload)
@@ -385,10 +372,8 @@ def ablation_retro(harness: ExperimentHarness, workload: str = "ZZ",
             num_batches=s.num_batches, ops_per_batch=s.ops_per_batch,
             seed=s.plan_seed,
         )
-        engine = GraphCachePlus(
-            store, make_matcher(matcher), model=CacheModel.CON,
-            cache_capacity=s.cache_capacity,
-            window_capacity=s.window_capacity, retro_budget=budget,
+        engine = GraphCacheService(
+            store, s.cache_config("CON", matcher).replace(retro_budget=budget)
         )
         warmup = min(s.warmup_queries, max(len(wl.queries) - 1, 0))
         qtime = 0.0
@@ -431,12 +416,11 @@ def supergraph_workload(harness: ExperimentHarness,
     """
     import random as _random
 
+    from repro.api import GraphCacheService
     from repro.cache.entry import QueryType
-    from repro.cache.models import CacheModel
     from repro.dataset.change_plan import ChangePlan
     from repro.dataset.store import GraphStore
     from repro.matching import make_matcher
-    from repro.runtime.engine import GraphCachePlus
     from repro.runtime.method_m import MethodMRunner
     from repro.util.zipf import ZipfSampler
     from repro.workloads.typea import bfs_extract
@@ -494,11 +478,9 @@ def supergraph_workload(harness: ExperimentHarness,
             runner = MethodMRunner(store, make_matcher(matcher),
                                    query_type=QueryType.SUPERGRAPH)
         else:
-            runner = GraphCachePlus(
-                store, make_matcher(matcher), model=CacheModel[model],
-                query_type=QueryType.SUPERGRAPH,
-                cache_capacity=s.cache_capacity,
-                window_capacity=s.window_capacity,
+            runner = GraphCacheService(
+                store, s.cache_config(model, matcher).replace(
+                    query_type=QueryType.SUPERGRAPH)
             )
         results[model] = execute_all(runner, store, plan)
 

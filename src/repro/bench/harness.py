@@ -14,13 +14,11 @@ import os
 import random
 from dataclasses import dataclass, field
 
-from repro.cache.entry import QueryType
-from repro.cache.models import CacheModel
+from repro.api import GCConfig, GraphCacheService
 from repro.dataset.change_plan import ChangePlan
 from repro.dataset.store import GraphStore
 from repro.datasets.aids import generate_aids_like
 from repro.matching import make_matcher
-from repro.runtime.engine import GraphCachePlus
 from repro.runtime.method_m import MethodMRunner
 from repro.workloads.base import Workload
 from repro.workloads.typea import generate_type_a
@@ -73,6 +71,15 @@ class BenchScale:
     workload_seed: int = 424242
     plan_seed: int = 77
 
+    def cache_config(self, model: str, matcher: str) -> GCConfig:
+        """The validated service config for one run-grid cell."""
+        return GCConfig(
+            model=model,
+            matcher=matcher,
+            cache_capacity=self.cache_capacity,
+            window_capacity=self.window_capacity,
+        )
+
 
 SCALES: dict[str, BenchScale] = {
     # CI-sized: a couple of minutes for the full figure suite.
@@ -124,6 +131,7 @@ class RunResult:
     total_query_seconds: float
     total_overhead_seconds: float
     total_consistency_seconds: float
+    total_purge_seconds: float
     total_method_tests: int
     total_internal_tests: int
     summary: dict[str, float] = field(default_factory=dict)
@@ -136,6 +144,10 @@ class RunResult:
     @property
     def avg_overhead_ms(self) -> float:
         return self.total_overhead_seconds / self.queries * 1000.0
+
+    @property
+    def avg_purge_ms(self) -> float:
+        return self.total_purge_seconds / self.queries * 1000.0
 
     @property
     def avg_method_tests(self) -> float:
@@ -210,15 +222,11 @@ class ExperimentHarness:
             num_batches=s.num_batches, ops_per_batch=s.ops_per_batch,
             seed=s.plan_seed,
         )
-        matcher = make_matcher(matcher_name)
         if model == "base":
-            runner = MethodMRunner(store, matcher)
+            runner = MethodMRunner(store, make_matcher(matcher_name))
         else:
-            runner = GraphCachePlus(
-                store, matcher, model=CacheModel[model],
-                query_type=QueryType.SUBGRAPH,
-                cache_capacity=s.cache_capacity,
-                window_capacity=s.window_capacity,
+            runner = GraphCacheService(
+                store, s.cache_config(model, matcher_name)
             )
 
         # The paper warms the cache for one window before measuring
@@ -228,6 +236,7 @@ class ExperimentHarness:
         # checked on the whole stream, warm-up included).
         warmup = min(s.warmup_queries, max(len(workload.queries) - 1, 0))
         total_query = total_overhead = total_consistency = 0.0
+        total_purge = 0.0
         total_tests = total_internal = 0
         signature = 0
         for i, query in enumerate(workload.queries):
@@ -240,11 +249,12 @@ class ExperimentHarness:
             total_query += m.query_seconds
             total_overhead += m.overhead_seconds
             total_consistency += m.consistency_seconds
+            total_purge += m.purge_seconds
             total_tests += m.method_tests
             total_internal += m.internal_tests
 
-        summary = (runner.monitor.summary()
-                   if isinstance(runner, GraphCachePlus) else {})
+        summary = (runner.summary()
+                   if isinstance(runner, GraphCacheService) else {})
         run_result = RunResult(
             workload=workload_name,
             matcher=matcher_name,
@@ -253,6 +263,7 @@ class ExperimentHarness:
             total_query_seconds=total_query,
             total_overhead_seconds=total_overhead,
             total_consistency_seconds=total_consistency,
+            total_purge_seconds=total_purge,
             total_method_tests=total_tests,
             total_internal_tests=total_internal,
             summary=summary,

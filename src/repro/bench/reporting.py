@@ -10,7 +10,23 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["render_table", "render_markdown", "format_value"]
+__all__ = ["render_table", "render_markdown", "format_value",
+           "overhead_breakdown_row"]
+
+
+def overhead_breakdown_row(summary: Mapping[str, float]) -> dict[str, float]:
+    """The standard per-query overhead columns from a monitor summary.
+
+    ``avg overhead ms`` is the whole Figure 6 second bar;
+    ``avg consistency ms`` is its consistency-protocol share (Algorithms
+    1+2 under CON, the purge under EVI) and ``avg purge ms`` isolates the
+    EVI purge component so the two models' costs are directly comparable.
+    """
+    return {
+        "avg overhead ms": summary.get("avg_overhead_ms", 0.0),
+        "avg consistency ms": summary.get("avg_consistency_ms", 0.0),
+        "avg purge ms": summary.get("avg_purge_ms", 0.0),
+    }
 
 
 def format_value(value: object) -> str:

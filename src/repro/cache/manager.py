@@ -30,7 +30,7 @@ from repro.graphs.graph import LabeledGraph
 from repro.util.bitset import BitSet
 from repro.util.timing import Stopwatch
 
-__all__ = ["CacheManager", "ConsistencyReport"]
+__all__ = ["CacheManager", "ConsistencyReport", "NOOP_CONSISTENCY"]
 
 DEFAULT_CACHE_CAPACITY = 100  # paper §7.1
 DEFAULT_WINDOW_CAPACITY = 20  # paper §7.1
@@ -45,6 +45,11 @@ class ConsistencyReport:
     entries_validated: int       # CON entries refreshed
     analyze_seconds: float       # Algorithm 1 time
     validate_seconds: float      # Algorithm 2 time (all entries)
+    purge_seconds: float = 0.0   # EVI indiscriminate-purge time
+
+
+#: A pass that found nothing to do (shared to avoid per-query garbage).
+NOOP_CONSISTENCY = ConsistencyReport(False, False, 0, 0.0, 0.0)
 
 
 class CacheManager:
@@ -71,6 +76,30 @@ class CacheManager:
         # Instrumentation for Figure 6's overhead breakdown.
         self.evictions = 0
         self.admissions = 0
+        #: Optional callback receiving :class:`repro.api.events.CacheEvent`
+        #: records; set by the service layer, ignored when ``None``.
+        self.event_listener = None
+
+    @classmethod
+    def from_config(cls, config) -> "CacheManager":
+        """Build a manager from a :class:`repro.api.config.GCConfig`."""
+        return cls(
+            model=config.model,
+            query_type=config.query_type,
+            capacity=config.cache_capacity,
+            window_capacity=config.window_capacity,
+            policy=config.policy,
+        )
+
+    def _emit(self, kind_name: str, entry_ids: tuple[int, ...],
+              query_index: int | None = None) -> None:
+        if self.event_listener is None or not entry_ids:
+            return
+        from repro.api.events import CacheEvent, CacheEventKind
+
+        self.event_listener(
+            CacheEvent(CacheEventKind[kind_name], entry_ids, query_index)
+        )
 
     # ------------------------------------------------------------------
     # Consistency protocol (paper §5) — run on every query arrival
@@ -82,14 +111,15 @@ class CacheManager:
         Algorithm 2 (validity refresh on every cache/window entry).
         """
         if store.log.last_seq <= self._log_cursor:
-            return ConsistencyReport(False, False, 0, 0.0, 0.0)
+            return NOOP_CONSISTENCY
 
         if self.model is CacheModel.EVI:
             sw = Stopwatch()
             with sw:
                 self.validator.purge_evi(self.clear)
                 self._log_cursor = store.log.last_seq
-            return ConsistencyReport(True, True, 0, 0.0, sw.elapsed)
+            return ConsistencyReport(True, True, 0, 0.0, 0.0,
+                                     purge_seconds=sw.elapsed)
 
         analyze_sw = Stopwatch()
         with analyze_sw:
@@ -105,6 +135,11 @@ class CacheManager:
             analyze_seconds=analyze_sw.elapsed,
             validate_seconds=validate_sw.elapsed,
         )
+
+    def pending_log_records(self, store: GraphStore) -> int:
+        """Dataset log records not yet reflected into the cache — zero
+        right after :meth:`ensure_consistency` ran."""
+        return max(store.log.last_seq - self._log_cursor, 0)
 
     # ------------------------------------------------------------------
     # Views
@@ -149,6 +184,10 @@ class CacheManager:
         promoted = self.window.add(entry)
         if promoted is not None:
             self._promote(promoted)
+        # Emitted once the admission has fully settled, so hooks observe
+        # the post-admission state (entry in the window or, if its
+        # arrival filled the window, already promoted/evicted).
+        self._emit("ADMISSION", (entry.entry_id,), query_index)
         return entry
 
     def _promote(self, batch: list[CacheEntry]) -> None:
@@ -156,6 +195,7 @@ class CacheManager:
         capacity using the replacement policy."""
         for entry in batch:
             self._cache[entry.entry_id] = entry
+        self._emit("PROMOTION", tuple(e.entry_id for e in batch))
         population = list(self._cache.values())
         victims = self.policy.select_victims(
             population, self.statistics, self.capacity
@@ -165,6 +205,7 @@ class CacheManager:
             self.index.remove(victim.entry_id)
             self.statistics.forget(victim.entry_id)
             self.evictions += 1
+        self._emit("EVICTION", tuple(v.entry_id for v in victims))
 
     # ------------------------------------------------------------------
     # Benefit crediting (feeds PIN/PINC/HD)
@@ -179,10 +220,13 @@ class CacheManager:
     # Purge (EVI, or manual reset)
     # ------------------------------------------------------------------
     def clear(self) -> None:
+        cleared = (tuple(e.entry_id for e in self.all_entries())
+                   if self.event_listener is not None else ())
         self._cache.clear()
         self.window.clear()
         self.index.clear()
         self.statistics.clear()
+        self._emit("PURGE", cleared)
 
     def __repr__(self) -> str:
         return (

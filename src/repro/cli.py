@@ -20,15 +20,13 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.bench.reporting import render_table
-from repro.cache.entry import QueryType
-from repro.cache.models import CacheModel
+from repro.api import GCConfig, GraphCacheService
+from repro.bench.reporting import overhead_breakdown_row, render_table
 from repro.dataset.change_plan import ChangePlan
 from repro.dataset.store import GraphStore
 from repro.datasets.aids import generate_aids_like
 from repro.graphs import io as graph_io
 from repro.matching import MATCHERS, make_matcher
-from repro.runtime.engine import GraphCachePlus
 from repro.runtime.method_m import MethodMRunner
 from repro.workloads.typea import TypeACategory, generate_type_a
 from repro.workloads.typeb import TypeBConfig, generate_type_b
@@ -85,18 +83,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print("workload is empty", file=sys.stderr)
         return 2
     store = GraphStore.from_graphs(graphs)
-    query_type = QueryType[args.query_type.upper()]
-    matcher = make_matcher(args.matcher)
 
-    if args.model.lower() == "none":
-        runner = MethodMRunner(store, matcher, query_type=query_type)
-    else:
-        runner = GraphCachePlus(
-            store, matcher, model=CacheModel[args.model.upper()],
-            query_type=query_type, cache_capacity=args.cache_capacity,
-            window_capacity=args.window_capacity, policy=args.policy,
-            retro_budget=args.retro_budget,
-        )
+    try:
+        if args.model.lower() == "none":
+            config = GCConfig.from_dict({
+                "query_type": args.query_type, "matcher": args.matcher,
+            })
+            runner = MethodMRunner(store, make_matcher(config.matcher),
+                                   query_type=config.query_type)
+        else:
+            config = GCConfig.from_dict({
+                "model": args.model,
+                "query_type": args.query_type,
+                "matcher": args.matcher,
+                "policy": args.policy,
+                "cache_capacity": args.cache_capacity,
+                "window_capacity": args.window_capacity,
+                "retro_budget": args.retro_budget,
+            })
+            runner = GraphCacheService(store, config)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
 
     plan = None
     if args.change_batches > 0:
@@ -106,12 +114,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             ops_per_batch=args.ops_per_batch, seed=args.seed,
         )
 
+    service = runner if isinstance(runner, GraphCacheService) else None
+    if args.explain >= 0 and service is None:
+        print("--explain needs a cache model (CON or EVI); ignoring it",
+              file=sys.stderr)
     total_time = 0.0
     total_tests = 0
     answers = 0
     for i, query in enumerate(queries):
         if plan is not None:
-            plan.apply_due(store, i)
+            if service is not None:
+                service.apply(plan, i)
+            else:
+                plan.apply_due(store, i)
+        if service is not None and i == args.explain:
+            print(f"explain plan for query {i}:")
+            print(service.explain(query).describe())
+            print()
         result = runner.execute(query)
         total_time += result.metrics.query_seconds
         total_tests += result.metrics.method_tests
@@ -127,14 +146,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"run: model={args.model} matcher={args.matcher} "
         f"type={args.query_type}", rows,
     ))
-    if isinstance(runner, GraphCachePlus):
-        s = runner.monitor.summary()
+    if service is not None:
+        s = service.summary()
         hit_rows = [{
             "zero-test queries": s["zero_test_queries"],
             "exact-hit queries": s["queries_with_exact_hit"],
             "containing hits": s["total_containing_hits"],
             "contained hits": s["total_contained_hits"],
-            "avg overhead ms": s["avg_overhead_ms"],
+            **overhead_breakdown_row(s),
         }]
         print(render_table("cache anatomy", hit_rows))
     return 0
@@ -180,6 +199,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-capacity", type=int, default=100)
     run.add_argument("--window-capacity", type=int, default=20)
     run.add_argument("--retro-budget", type=int, default=0)
+    run.add_argument("--explain", type=int, default=-1, metavar="N",
+                     help="print the cache's explain plan before query N")
     run.add_argument("--change-batches", type=int, default=0)
     run.add_argument("--ops-per-batch", type=int, default=20)
     run.add_argument("--seed", type=int, default=77)

@@ -11,7 +11,9 @@
   formulas (1)–(5) and the §6.3 optimal cases;
 * :mod:`repro.runtime.monitor` — the Statistics Monitor (per-query
   metrics and aggregates, incl. Figure 6's overhead breakdown);
-* :class:`repro.runtime.engine.GraphCachePlus` — the full system.
+* :class:`repro.runtime.engine.GraphCachePlus` — the deprecated facade
+  over :class:`repro.api.service.GraphCacheService`, where the full
+  per-query pipeline now lives.
 """
 
 from repro.runtime.engine import GraphCachePlus, QueryResult

@@ -1,55 +1,37 @@
-"""GraphCache+ — the full system (Figure 1 of the paper).
+"""GraphCache+ — the legacy constructor, now a shim over the service API.
 
-Per-query flow (§4):
-
-1. the Dataset Manager checks whether the dataset changed since the cache
-   last reflected it; if so the Cache Validator runs (EVI purge, or CON
-   log analysis + validity refresh);
-2. the GC+sub / GC+super processors discover containment relations
-   between the query and cached queries;
-3. the Candidate Set Pruner applies formulas (1)–(5), producing test-free
-   answers and a reduced candidate set;
-4. Mverifier (Method M) sub-iso tests the reduced candidate set;
-5. the executed query, its answer, and per-entry benefit statistics are
-   fed back to the Cache Manager (window admission, replacement) —
-   reported as overhead, off the query's critical path.
+The per-query flow (Figure 1, §4) lives in
+:class:`repro.api.service.GraphCacheService`; :class:`GraphCachePlus` is
+kept as a deprecated, signature-compatible facade so existing code and
+papers' snippets keep running.  New code should construct a
+:class:`~repro.api.GraphCacheService` from a
+:class:`~repro.api.GCConfig` instead — it adds batch execution, explain
+plans, event hooks and a mutation API on top of the same engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
+from repro.api.config import GCConfig
 from repro.cache.entry import QueryType
-from repro.cache.manager import CacheManager
 from repro.cache.models import CacheModel
 from repro.dataset.store import GraphStore
-from repro.graphs.features import GraphFeatures
 from repro.graphs.graph import LabeledGraph
 from repro.matching.base import SubgraphMatcher
-from repro.runtime.method_m import MethodM
-from repro.runtime.monitor import QueryMetrics, StatisticsMonitor
-from repro.runtime.processors import HitDiscovery
-from repro.runtime.pruner import prune_candidate_set
-from repro.util.bitset import BitSet
-from repro.util.timing import Stopwatch
+from repro.runtime.monitor import QueryResult
 
 __all__ = ["GraphCachePlus", "QueryResult"]
 
 
-@dataclass
-class QueryResult:
-    """The answer set (as a BitSet over dataset-graph ids) plus metrics."""
-
-    answer: BitSet
-    metrics: QueryMetrics
-
-    @property
-    def answer_ids(self) -> frozenset[int]:
-        return frozenset(self.answer)
-
-
 class GraphCachePlus:
-    """The GC+ semantic cache wrapped around a Method M.
+    """Deprecated kwarg-style facade over :class:`GraphCacheService`.
+
+    Every attribute not defined here (``cache``, ``monitor``, ``store``,
+    ``method_m``, ``discovery``, ``revalidator``, ...) delegates to the
+    underlying service, so code that introspected the old engine keeps
+    working unchanged — with a :class:`DeprecationWarning` at
+    construction time.
 
     >>> from repro.matching import VF2Matcher
     >>> from repro.graphs.graph import LabeledGraph
@@ -69,130 +51,61 @@ class GraphCachePlus:
                  internal_verifier: SubgraphMatcher | None = None,
                  caching_enabled: bool = True,
                  retro_budget: int = 0) -> None:
-        self.store = store
-        self.method_m = MethodM(matcher, store)
-        self.query_type = query_type
-        self.cache = CacheManager(
+        warnings.warn(
+            "GraphCachePlus is deprecated; use "
+            "repro.api.GraphCacheService with a GCConfig instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        # Imported here, not at module top: repro.runtime.__init__ pulls
+        # this module eagerly, so a top-level import of the service (which
+        # itself uses repro.runtime components) would be circular.
+        from repro.api.service import GraphCacheService
+
+        config = GCConfig(
             model=model,
             query_type=query_type,
-            capacity=cache_capacity,
+            cache_capacity=cache_capacity,
             window_capacity=window_capacity,
             policy=policy,
+            caching_enabled=caching_enabled,
+            retro_budget=retro_budget,
         )
-        self.discovery = HitDiscovery(internal_verifier)
-        self.monitor = StatisticsMonitor()
-        self.caching_enabled = caching_enabled
-        # Retrospective revalidation (§8 future work; beyond-paper
-        # extension, off by default).  ``retro_budget`` is the maximum
-        # number of off-critical-path sub-iso tests spent per query on
-        # re-earning lost CGvalid bits for high-benefit entries.
-        self.revalidator = None
-        if retro_budget > 0:
-            from repro.cache.revalidation import RetrospectiveRevalidator
-
-            self.revalidator = RetrospectiveRevalidator(retro_budget)
-        self._query_counter = 0
-
-    # ------------------------------------------------------------------
-    def execute(self, query: LabeledGraph) -> QueryResult:
-        """Answer one graph-pattern query, maintaining the cache."""
-        query_index = self._query_counter
-        self._query_counter += 1
-        metrics = QueryMetrics()
-
-        # (1) Consistency: reflect pending dataset changes into the cache.
-        report = self.cache.ensure_consistency(self.store)
-        metrics.analyze_seconds = report.analyze_seconds
-        metrics.validate_seconds = report.validate_seconds
-
-        cs_m = self.store.ids_bitset()
-        metrics.candidate_size = cs_m.cardinality()
-        universe = self.store.max_id + 1
-
-        # (2) Hit discovery (GC+sub / GC+super processors).
-        discovery_sw = Stopwatch()
-        with discovery_sw:
-            features = GraphFeatures.of(query)
-            hits = self.discovery.discover(query, self.cache.index, features)
-        metrics.discovery_seconds = discovery_sw.elapsed
-        metrics.containing_hits = len(hits.containing)
-        metrics.contained_hits = len(hits.contained)
-        metrics.exact_hits = len(hits.exact)
-        metrics.internal_tests = hits.internal_tests
-
-        # (3) Candidate set pruning (formulas (1)–(5)).
-        prune_sw = Stopwatch()
-        with prune_sw:
-            outcome = prune_candidate_set(self.query_type, cs_m, hits,
-                                          universe)
-        metrics.prune_seconds = prune_sw.elapsed
-        metrics.exact_hit_valid = outcome.exact_hit
-        metrics.empty_shortcut = outcome.empty_shortcut
-
-        # (4) Method-M verification of the reduced candidate set.
-        verify_sw = Stopwatch()
-        with verify_sw:
-            verified, tests = self.method_m.verify(
-                query, outcome.candidates, self.query_type
-            )
-            answer = verified | outcome.answer_free
-        metrics.verify_seconds = verify_sw.elapsed
-        metrics.method_tests = tests
-        metrics.pruned_candidate_size = outcome.candidates.cardinality()
-        metrics.tests_saved = metrics.candidate_size - tests
-        metrics.answer_size = answer.cardinality()
-
-        # (5) Feed back to the Cache Manager: benefit credits + admission.
-        admission_sw = Stopwatch()
-        with admission_sw:
-            self._credit_contributions(query, outcome.contributions,
-                                       query_index)
-            if self.caching_enabled:
-                self.cache.admit(query, answer, self.store, query_index)
-        metrics.admission_seconds = admission_sw.elapsed
-
-        # (6, extension) Retrospective revalidation, off the critical path.
-        if self.revalidator is not None and self.caching_enabled:
-            retro_sw = Stopwatch()
-            with retro_sw:
-                report = self.revalidator.run_round(
-                    self.cache, self.store, self.method_m.matcher
-                )
-            metrics.retro_seconds = retro_sw.elapsed
-            metrics.retro_tests = report.tests_spent
-
-        self.monitor.record(metrics)
-        return QueryResult(answer=answer, metrics=metrics)
-
-    # ------------------------------------------------------------------
-    def _credit_contributions(self, query: LabeledGraph,
-                              contributions: dict[int, BitSet],
-                              query_index: int) -> None:
-        """Credit each contributing entry with its alleviated tests (R)
-        and their estimated cost (C) — the PIN/PINC inputs.
-
-        C uses the O(1) population estimate (query size × mean live graph
-        size per saved test) rather than per-graph sizes: the heuristic
-        only needs to separate cheap saved tests from expensive ones
-        across *entries*, and entries always save tests of one query at a
-        time, so the per-graph spread washes out.
-        """
-        cost_per_test = query.num_vertices * self.store.mean_vertices
-        for entry_id, saved in contributions.items():
-            count = saved.cardinality()
-            if count == 0:
-                continue
-            self.cache.credit(entry_id, count, count * cost_per_test,
-                              query_index)
+        object.__setattr__(self, "_service",
+                           GraphCacheService(store, config, matcher=matcher,
+                                             internal_verifier=internal_verifier))
 
     # ------------------------------------------------------------------
     @property
+    def service(self):
+        """The underlying :class:`repro.api.GraphCacheService` session
+        (the non-deprecated API)."""
+        return self._service
+
+    def execute(self, query: LabeledGraph) -> QueryResult:
+        """Answer one graph-pattern query, maintaining the cache."""
+        return self._service.execute(query)
+
+    @property
     def matcher(self) -> SubgraphMatcher:
-        return self.method_m.matcher
+        return self._service.matcher
+
+    def __getattr__(self, name: str):
+        # Everything else (cache, monitor, store, method_m, discovery,
+        # revalidator, caching_enabled, query_type, _query_counter, ...)
+        # lives on the service.
+        if name == "_service":
+            raise AttributeError(name)
+        return getattr(self._service, name)
+
+    def __setattr__(self, name: str, value) -> None:
+        # Mutations of engine knobs (e.g. ``caching_enabled``) must land
+        # on the service, not shadow it on the shim.
+        setattr(self._service, name, value)
 
     def __repr__(self) -> str:
+        svc = self._service
         return (
-            f"GraphCachePlus(model={self.cache.model}, "
-            f"method={self.matcher.name}, type={self.query_type}, "
-            f"queries={self._query_counter})"
+            f"GraphCachePlus(model={svc.cache.model}, "
+            f"method={svc.matcher.name}, type={svc.query_type}, "
+            f"queries={svc.queries_executed})"
         )

@@ -65,7 +65,7 @@ class MethodMRunner:
     """The bare baseline: Method M over the whole dataset, no cache.
 
     Exposes the same ``execute`` surface as
-    :class:`repro.runtime.engine.GraphCachePlus` so benchmark harnesses
+    :class:`repro.api.service.GraphCacheService` so benchmark harnesses
     can swap them freely.
     """
 
@@ -77,8 +77,7 @@ class MethodMRunner:
 
     def execute(self, query: LabeledGraph):
         """Run one query against the full dataset."""
-        from repro.runtime.engine import QueryResult  # cycle-free import
-        from repro.runtime.monitor import QueryMetrics
+        from repro.runtime.monitor import QueryMetrics, QueryResult
         from repro.util.timing import Stopwatch
 
         sw = Stopwatch()

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.util.bitset import BitSet
 from repro.util.stats import RunningStats
 
-__all__ = ["QueryMetrics", "StatisticsMonitor"]
+__all__ = ["QueryMetrics", "QueryResult", "StatisticsMonitor"]
 
 
 @dataclass
@@ -43,7 +44,8 @@ class QueryMetrics:
 
     # Overhead components (Figure 6's second bar).
     analyze_seconds: float = 0.0    # Algorithm 1 (CON only)
-    validate_seconds: float = 0.0   # Algorithm 2 / EVI purge
+    validate_seconds: float = 0.0   # Algorithm 2 (CON only)
+    purge_seconds: float = 0.0      # EVI indiscriminate purge
     admission_seconds: float = 0.0  # window + cache update, replacement
     # Retrospective revalidation (beyond-paper extension, opt-in).
     retro_seconds: float = 0.0
@@ -64,12 +66,27 @@ class QueryMetrics:
     @property
     def overhead_seconds(self) -> float:
         return (self.analyze_seconds + self.validate_seconds
-                + self.admission_seconds + self.retro_seconds)
+                + self.purge_seconds + self.admission_seconds
+                + self.retro_seconds)
 
     @property
     def consistency_seconds(self) -> float:
-        """The CON-exclusive share of overhead (Algorithms 1 + 2)."""
-        return self.analyze_seconds + self.validate_seconds
+        """The consistency-protocol share of overhead: Algorithms 1 + 2
+        under CON, the indiscriminate purge under EVI."""
+        return (self.analyze_seconds + self.validate_seconds
+                + self.purge_seconds)
+
+
+@dataclass
+class QueryResult:
+    """The answer set (as a BitSet over dataset-graph ids) plus metrics."""
+
+    answer: BitSet
+    metrics: QueryMetrics
+
+    @property
+    def answer_ids(self) -> frozenset[int]:
+        return frozenset(self.answer)
 
 
 @dataclass
@@ -81,6 +98,7 @@ class StatisticsMonitor:
     discovery_time: RunningStats = field(default_factory=RunningStats)
     overhead_time: RunningStats = field(default_factory=RunningStats)
     consistency_time: RunningStats = field(default_factory=RunningStats)
+    purge_time: RunningStats = field(default_factory=RunningStats)
     method_tests: RunningStats = field(default_factory=RunningStats)
     tests_saved: RunningStats = field(default_factory=RunningStats)
 
@@ -104,6 +122,7 @@ class StatisticsMonitor:
         self.discovery_time.add(metrics.discovery_seconds)
         self.overhead_time.add(metrics.overhead_seconds)
         self.consistency_time.add(metrics.consistency_seconds)
+        self.purge_time.add(metrics.purge_seconds)
         self.method_tests.add(metrics.method_tests)
         self.tests_saved.add(metrics.tests_saved)
         self.total_method_tests += metrics.method_tests
@@ -138,6 +157,10 @@ class StatisticsMonitor:
         return self.consistency_time.mean * 1000.0
 
     @property
+    def avg_purge_ms(self) -> float:
+        return self.purge_time.mean * 1000.0
+
+    @property
     def avg_method_tests(self) -> float:
         return self.method_tests.mean
 
@@ -148,6 +171,7 @@ class StatisticsMonitor:
             "avg_query_time_ms": self.avg_query_time_ms,
             "avg_overhead_ms": self.avg_overhead_ms,
             "avg_consistency_ms": self.avg_consistency_ms,
+            "avg_purge_ms": self.avg_purge_ms,
             "avg_method_tests": self.avg_method_tests,
             "total_method_tests": self.total_method_tests,
             "total_internal_tests": self.total_internal_tests,

@@ -59,7 +59,11 @@ class PruneOutcome:
     * ``contributions`` — per entry id, the number of Method-M sub-iso
       tests that entry independently alleviated, and the ids it saved
       (feeds R and C crediting);
-    * ``exact_hit`` / ``empty_shortcut`` — §6.3 optimal-case flags.
+    * ``exact_hit`` / ``empty_shortcut`` — §6.3 optimal-case flags;
+    * ``donations`` / ``filtered`` — the per-entry formula applications
+      (ids donated via (1), ids removed via (4)/(5)) that
+      ``contributions`` merges; kept separate so explain plans can report
+      *which* formula each entry applied.
     """
 
     answer_free: BitSet
@@ -67,6 +71,8 @@ class PruneOutcome:
     contributions: dict[int, BitSet] = field(default_factory=dict)
     exact_hit: bool = False
     empty_shortcut: bool = False
+    donations: dict[int, BitSet] = field(default_factory=dict)
+    filtered: dict[int, BitSet] = field(default_factory=dict)
 
 
 def prune_candidate_set(query_type: QueryType, cs_m: BitSet,
@@ -94,7 +100,7 @@ def prune_candidate_set(query_type: QueryType, cs_m: BitSet,
     # cleared by validation, so the intersection is a no-op in normal
     # operation — it is kept as defence in depth (Lemma 1 relies on
     # donations being valid *current* dataset graphs).
-    per_entry_donation: dict[int, BitSet] = {}
+    per_entry_donation = outcome.donations
     for entry in answer_entries:
         donation = entry.valid_answer() & cs_m
         per_entry_donation[entry.entry_id] = donation
@@ -106,7 +112,7 @@ def prune_candidate_set(query_type: QueryType, cs_m: BitSet,
     # Formulas (4)+(5): each filtering entry bounds the candidate set to
     # the graphs that could possibly answer the query.
     reduced = after_donation
-    per_entry_filtered: dict[int, BitSet] = {}
+    per_entry_filtered = outcome.filtered
     for entry in filter_entries:
         allowed = entry.possible_answer(universe_size)
         removed = after_donation.and_not(allowed)

@@ -1,0 +1,400 @@
+"""GraphCacheService: sessions, batching, explain plans, hooks, shim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    CacheEvent,
+    CacheEventKind,
+    GCConfig,
+    GraphCacheService,
+    QueryPlan,
+)
+from repro.cache.entry import QueryType
+from repro.dataset.change_plan import ChangePlan
+from repro.dataset.store import GraphStore
+from repro.graphs.graph import LabeledGraph
+from repro.matching.vf2plus import VF2PlusMatcher
+from tests.conftest import brute_force_answer
+
+
+def path(labels: str) -> LabeledGraph:
+    return LabeledGraph.from_edges(
+        list(labels), [(i, i + 1) for i in range(len(labels) - 1)]
+    )
+
+
+DATASET = [
+    path("CCO"),
+    path("CCCO"),
+    path("CO"),
+    LabeledGraph.from_edges("CCO", [(0, 1), (1, 2), (0, 2)]),
+    path("NNN"),
+]
+
+
+@pytest.fixture
+def store() -> GraphStore:
+    return GraphStore.from_graphs(DATASET)
+
+
+@pytest.fixture
+def service(store) -> GraphCacheService:
+    return GraphCacheService(
+        store, GCConfig(cache_capacity=5, window_capacity=3)
+    )
+
+
+class TestSession:
+    def test_answers_match_ground_truth(self, service, store):
+        for q in (path("CO"), path("CC"), path("N"), path("XX")):
+            result = service.execute(q)
+            assert result.answer_ids == frozenset(
+                brute_force_answer(store, q, QueryType.SUBGRAPH)
+            )
+
+    def test_context_manager_closes(self, store):
+        with GraphCacheService(store) as service:
+            service.execute(path("CO"))
+        assert service.closed
+        with pytest.raises(RuntimeError, match="closed"):
+            service.execute(path("CO"))
+        with pytest.raises(RuntimeError, match="closed"):
+            service.explain(path("CO"))
+        with pytest.raises(RuntimeError, match="closed"):
+            service.add_graph(path("CC"))
+
+    def test_reentering_closed_session_rejected(self, store):
+        service = GraphCacheService(store)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.__enter__()
+
+    def test_overrides_via_kwargs(self, store):
+        service = GraphCacheService(store, model="EVI", cache_capacity=7)
+        assert service.cache.model.name == "EVI"
+        assert service.cache.capacity == 7
+
+    def test_matcher_instance_wins_over_config_name(self, store):
+        matcher = VF2PlusMatcher()
+        service = GraphCacheService(store, GCConfig(matcher="ullmann"),
+                                    matcher=matcher)
+        assert service.matcher is matcher
+        # the config reflects the effective matcher, so to_dict()
+        # reconstructs the system that actually ran.
+        assert service.config.matcher == "vf2+"
+        rebuilt = GraphCacheService(store,
+                                    GCConfig.from_dict(
+                                        service.config.to_dict()))
+        assert rebuilt.matcher.name == "vf2+"
+
+    def test_repr(self, service):
+        service.execute(path("CO"))
+        assert "queries=1" in repr(service)
+        service.close()
+        assert "closed" in repr(service)
+
+
+class TestExecuteMany:
+    def test_exactly_one_consistency_pass_per_batch(self, service, store,
+                                                    monkeypatch):
+        passes = []
+        original = service.cache.ensure_consistency
+        monkeypatch.setattr(
+            service.cache, "ensure_consistency",
+            lambda s: passes.append(1) or original(s),
+        )
+        store.add_graph(path("CC"))  # pending change to reconcile
+        results = service.execute_many(
+            [path("CO"), path("CC"), path("CCO"), path("N")]
+        )
+        assert len(results) == 4
+        assert len(passes) == 1
+
+    def test_batch_reconciles_pending_changes(self, service, store):
+        service.execute(path("CO"))
+        new_id = store.add_graph(path("OC"))
+        results = service.execute_many([path("CO"), path("CO")])
+        assert new_id in results[0].answer_ids
+        assert results[0].answer_ids == results[1].answer_ids
+
+    def test_batch_answers_equal_per_query_execution(self, store):
+        queries = [path("CO"), path("CC"), path("CCO"), path("CO")]
+        batch = GraphCacheService(GraphStore.from_graphs(DATASET))
+        single = GraphCacheService(GraphStore.from_graphs(DATASET))
+        batched = batch.execute_many(queries)
+        looped = [single.execute(q) for q in queries]
+        assert ([r.answer_ids for r in batched]
+                == [r.answer_ids for r in looped])
+
+    def test_consistency_cost_lands_on_first_result(self, service, store):
+        store.add_graph(path("CC"))
+        service.execute(path("CO"))  # warm the cache so validation runs
+        store.add_graph(path("CC"))
+        first, second = service.execute_many([path("CO"), path("CO")])
+        assert second.metrics.consistency_seconds == 0.0
+
+    def test_empty_batch(self, service):
+        assert service.execute_many([]) == []
+
+    def test_mid_batch_mutation_is_still_consistent(self, service, store):
+        """Batching must never trade correctness: a mutation smuggled in
+        mid-batch (here via a generator side effect) re-triggers the
+        consistency protocol instead of serving stale donations."""
+        service.execute(path("CO"))  # G0 cached as an answer of CO
+
+        def stream():
+            yield path("CO")
+            service.remove_edge(0, 1, 2)  # G0 loses its C-O edge
+            yield path("CO")
+
+        before, after = service.execute_many(stream())
+        assert 0 in before.answer_ids
+        assert 0 not in after.answer_ids
+        assert after.answer_ids == frozenset(
+            brute_force_answer(store, path("CO"), QueryType.SUBGRAPH)
+        )
+
+    def test_batch_accepts_generators(self, service):
+        results = service.execute_many(path(s) for s in ("CO", "CC"))
+        assert len(results) == 2
+
+
+class TestExplain:
+    def test_plan_reports_hits_and_formulas(self, service):
+        service.execute(path("CCO"))
+        plan = service.explain(path("CO"))
+        assert isinstance(plan, QueryPlan)
+        assert plan.is_hit
+        assert len(plan.containing_hits) == 1
+        assert plan.candidate_size == 5
+        # the cached CCO entry answers {0, 1, 3} — all donated via (1).
+        assert plan.test_free_answers == frozenset({0, 1, 3})
+        assert plan.reduced_candidates == frozenset({2, 4})
+        assert plan.tests_saved == 3
+        assert any(step.formula.startswith("(1)") for step in plan.steps)
+        assert "3 tests saved" in plan.describe()
+
+    def test_zero_effect_hits_produce_no_steps(self, service, store):
+        """A hit whose valid donations all faded stays in the hit lists
+        but must not claim a '(1) ... 0 graph(s)' formula application."""
+        service.execute(path("CO"))       # answers {0, 1, 2, 3}
+        for gid in (0, 1, 2, 3):          # delete every answer graph
+            store.delete_graph(gid)
+        service.refresh()
+        plan = service.explain(LabeledGraph.from_edges("C", []))
+        assert len(plan.containing_hits) == 1  # still a discovered hit
+        assert plan.test_free_answers == frozenset()
+        assert all("(1)" not in step.formula for step in plan.steps)
+        assert all(step.affected_ids for step in plan.steps)
+
+    def test_exact_hit_plan(self, service):
+        service.execute(path("CO"))
+        plan = service.explain(path("CO"))
+        assert plan.exact_hit
+        assert plan.reduced_candidates == frozenset()
+        assert "zero tests" in plan.describe()
+
+    def test_explain_does_not_mutate_state(self, service, store):
+        service.execute(path("CCO"))
+        before = (
+            service.cache.cache_size,
+            service.cache.window_size,
+            len(service.cache.index),
+            len(service.cache.statistics),
+            service.monitor.queries,
+            service.queries_executed,
+            service.cache.admissions,
+        )
+        stats_before = {
+            e.entry_id: service.cache.statistics.get(e.entry_id).tests_saved
+            for e in service.cache.all_entries()
+        }
+        for _ in range(3):
+            service.explain(path("CO"))
+            service.explain(path("CCO"))
+        after = (
+            service.cache.cache_size,
+            service.cache.window_size,
+            len(service.cache.index),
+            len(service.cache.statistics),
+            service.monitor.queries,
+            service.queries_executed,
+            service.cache.admissions,
+        )
+        assert before == after
+        for e in service.cache.all_entries():
+            assert (service.cache.statistics.get(e.entry_id).tests_saved
+                    == stats_before[e.entry_id])
+
+    def test_explain_does_not_consume_pending_changes(self, service, store):
+        service.execute(path("CO"))
+        store.add_graph(path("CC"))
+        plan = service.explain(path("CO"))
+        assert plan.pending_log_records == 1
+        assert "pending validation" in plan.describe()
+        # the real execution still reconciles the change afterwards.
+        again = service.explain(path("CO"))
+        assert again.pending_log_records == 1
+        result = service.execute(path("CO"))
+        assert result.metrics.method_tests == 1  # only the new graph
+        assert service.explain(path("CO")).pending_log_records == 0
+
+
+class TestHooks:
+    def test_admission_hook_fires_per_query(self, service):
+        events: list[CacheEvent] = []
+        service.on_admission(events.append)
+        service.execute(path("CO"))
+        service.execute(path("CC"))
+        assert [e.kind for e in events] == [CacheEventKind.ADMISSION] * 2
+        assert [e.query_index for e in events] == [0, 1]
+
+    def test_promotion_and_eviction_hooks(self, store):
+        service = GraphCacheService(
+            store, GCConfig(cache_capacity=2, window_capacity=2,
+                            policy="pin")
+        )
+        promoted: list[CacheEvent] = []
+        evicted: list[CacheEvent] = []
+        service.on_promotion(promoted.append)
+        service.on_eviction(evicted.append)
+        for labels in ("CO", "CC", "CCO", "NN"):
+            service.execute(path(labels))
+        assert len(promoted) == 2          # two full windows
+        assert len(promoted[0].entry_ids) == 2
+        assert len(evicted) == 1           # second promotion overflows
+        assert len(evicted[0].entry_ids) == 2
+
+    def test_purge_hook_fires_under_evi(self, store):
+        service = GraphCacheService(store, GCConfig(model="EVI"))
+        purged: list[CacheEvent] = []
+        service.on_purge(purged.append)
+        service.execute(path("CO"))
+        service.add_graph(path("CC"))
+        service.execute(path("CO"))
+        assert len(purged) == 1
+        assert len(purged[0].entry_ids) == 1
+
+    def test_hook_usable_as_decorator(self, service):
+        seen = []
+
+        @service.on_admission
+        def record(event: CacheEvent) -> None:
+            seen.append(event)
+
+        service.execute(path("CO"))
+        assert len(seen) == 1
+
+    def test_close_detaches_hooks(self, store):
+        events: list[CacheEvent] = []
+        service = GraphCacheService(store)
+        service.on_admission(events.append)
+        service.execute(path("CO"))
+        service.close()
+        # direct cache use after close must not reach the dead session.
+        assert service.cache.event_listener is None
+        assert len(events) == 1
+
+
+class TestMutationAPI:
+    def test_passthroughs_log_to_store(self, service, store):
+        gid = service.add_graph(path("COC"))
+        service.add_edge(gid, 0, 2)
+        service.remove_edge(gid, 0, 2)
+        service.delete_graph(gid)
+        assert store.log.last_seq == 4
+        assert gid not in store
+
+    def test_apply_change_plan(self, service, store):
+        plan = ChangePlan.generate(DATASET, num_queries=10, num_batches=2,
+                                   ops_per_batch=2, seed=7)
+        applied = service.apply(plan, query_index=9)
+        assert len(applied) == plan.total_ops == 4
+        result = service.execute(path("CO"))
+        assert result.answer_ids == frozenset(
+            brute_force_answer(store, path("CO"), QueryType.SUBGRAPH)
+        )
+
+    def test_refresh_runs_consistency_now(self, service, store):
+        service.execute(path("CO"))
+        store.add_graph(path("CC"))
+        report = service.refresh()
+        assert report.dataset_changed
+        assert service.cache.pending_log_records(store) == 0
+
+
+class TestPurgeTiming:
+    """Satellite: EVI purge time is reported as purge, not validation."""
+
+    def test_report_fields(self, store):
+        service = GraphCacheService(store, GCConfig(model="EVI"))
+        service.execute(path("CO"))
+        store.add_graph(path("CC"))
+        report = service.cache.ensure_consistency(store)
+        assert report.purged
+        assert report.purge_seconds > 0.0
+        assert report.validate_seconds == 0.0
+
+    def test_metrics_and_monitor(self, store):
+        service = GraphCacheService(store, GCConfig(model="EVI"))
+        service.execute(path("CO"))
+        store.add_graph(path("CC"))
+        metrics = service.execute(path("CO")).metrics
+        assert metrics.purge_seconds > 0.0
+        assert metrics.validate_seconds == 0.0
+        assert metrics.consistency_seconds == pytest.approx(
+            metrics.purge_seconds
+        )
+        assert metrics.overhead_seconds >= metrics.purge_seconds
+        assert service.summary()["avg_purge_ms"] > 0.0
+
+    def test_con_reports_no_purge_time(self, service, store):
+        service.execute(path("CO"))
+        store.add_graph(path("CC"))
+        metrics = service.execute(path("CO")).metrics
+        assert metrics.purge_seconds == 0.0
+        assert metrics.validate_seconds >= 0.0
+
+
+class TestDeprecatedShim:
+    def test_constructor_warns(self, store):
+        from repro.runtime.engine import GraphCachePlus
+
+        with pytest.warns(DeprecationWarning, match="GraphCacheService"):
+            GraphCachePlus(store, VF2PlusMatcher())
+
+    def test_shim_delegates_to_service(self, store):
+        from repro.runtime.engine import GraphCachePlus
+
+        with pytest.warns(DeprecationWarning):
+            engine = GraphCachePlus(store, VF2PlusMatcher(),
+                                    window_capacity=3, cache_capacity=5)
+        result = engine.execute(path("CO"))
+        assert sorted(result.answer_ids) == [0, 1, 2, 3]
+        assert engine.monitor.summary()["queries"] == 1
+        assert engine.cache.window_size == 1
+        assert engine.service.queries_executed == 1
+        assert isinstance(engine.service, GraphCacheService)
+        assert "queries=1" in repr(engine)
+
+    def test_shim_validates_like_the_service(self, store):
+        from repro.runtime.engine import GraphCachePlus
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="retro_budget"):
+                GraphCachePlus(store, VF2PlusMatcher(), retro_budget=-1)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="replacement policy"):
+                GraphCachePlus(store, VF2PlusMatcher(), policy="mru")
+
+    def test_shim_attribute_writes_land_on_service(self, store):
+        from repro.runtime.engine import GraphCachePlus
+
+        with pytest.warns(DeprecationWarning):
+            engine = GraphCachePlus(store, VF2PlusMatcher())
+        engine.caching_enabled = False
+        assert engine.service.caching_enabled is False
+        engine.execute(path("CO"))
+        assert engine.cache.window_size == 0

@@ -10,6 +10,8 @@ import doctest
 
 import pytest
 
+import repro.api.config
+import repro.api.service
 import repro.dataset.store
 import repro.graphs.graph
 import repro.matching.enumeration
@@ -25,6 +27,8 @@ MODULES = [
     repro.graphs.graph,
     repro.dataset.store,
     repro.runtime.engine,
+    repro.api.config,
+    repro.api.service,
     repro.matching.enumeration,
 ]
 

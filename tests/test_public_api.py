@@ -19,6 +19,8 @@ def test_all_names_resolve():
 
 
 @pytest.mark.parametrize("module", [
+    "repro.api", "repro.api.config", "repro.api.events",
+    "repro.api.plan", "repro.api.service",
     "repro.util", "repro.util.bitset", "repro.util.zipf",
     "repro.util.stats", "repro.util.timing",
     "repro.graphs", "repro.graphs.graph", "repro.graphs.features",
@@ -49,11 +51,23 @@ def test_module_imports_cleanly(module):
 
 def test_readme_quickstart_works():
     """The exact snippet from the package docstring / README."""
+    from repro import GCConfig, GraphCacheService, GraphStore, LabeledGraph
+
+    triangle = LabeledGraph.from_edges("CCO", [(0, 1), (1, 2), (0, 2)])
+    store = GraphStore.from_graphs([triangle])
+    with GraphCacheService(store, GCConfig(model="CON")) as service:
+        result = service.execute(LabeledGraph.from_edges("CO", [(0, 1)]))
+    assert sorted(result.answer_ids) == [0]
+
+
+def test_legacy_quickstart_still_works():
+    """The pre-service-layer snippet keeps running (deprecated shim)."""
     from repro import GraphCachePlus, GraphStore, LabeledGraph, VF2PlusMatcher
 
     triangle = LabeledGraph.from_edges("CCO", [(0, 1), (1, 2), (0, 2)])
     store = GraphStore.from_graphs([triangle])
-    gc = GraphCachePlus(store, VF2PlusMatcher())
+    with pytest.warns(DeprecationWarning):
+        gc = GraphCachePlus(store, VF2PlusMatcher())
     result = gc.execute(LabeledGraph.from_edges("CO", [(0, 1)]))
     assert sorted(result.answer_ids) == [0]
 
