@@ -92,6 +92,13 @@ class GCConfig:
     policy: str = "hd"
     caching_enabled: bool = True
     retro_budget: int = 0
+    #: Mverifier worker threads.  1 (the default) is the sequential
+    #: reference path; >1 chunks the candidate set across a thread pool
+    #: (answers and test counts are identical — see
+    #: :class:`repro.runtime.method_m.ParallelMethodM` for the GIL
+    #: tradeoff).  Pure performance knob; never affects reproduction
+    #: fidelity.
+    workers: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "model", _coerce_model(self.model))
@@ -118,7 +125,8 @@ class GCConfig:
                 f"{sorted(POLICIES)}"
             )
         object.__setattr__(self, "policy", self.policy.lower())
-        for name in ("cache_capacity", "window_capacity", "retro_budget"):
+        for name in ("cache_capacity", "window_capacity", "retro_budget",
+                     "workers"):
             _require_int(name, getattr(self, name))
         if self.cache_capacity <= 0:
             raise ValueError(
@@ -132,6 +140,11 @@ class GCConfig:
             raise ValueError(
                 f"retro_budget must be >= 0, got {self.retro_budget} "
                 f"(0 disables retrospective revalidation)"
+            )
+        if self.workers < 1:
+            raise ValueError(
+                f"workers must be >= 1, got {self.workers} "
+                f"(1 is the sequential Mverifier)"
             )
 
     # ------------------------------------------------------------------
@@ -169,4 +182,5 @@ class GCConfig:
             "policy": self.policy,
             "caching_enabled": self.caching_enabled,
             "retro_budget": self.retro_budget,
+            "workers": self.workers,
         }

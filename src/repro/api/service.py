@@ -45,7 +45,7 @@ from repro.graphs.features import GraphFeatures
 from repro.graphs.graph import LabeledGraph
 from repro.matching import MATCHERS, make_matcher
 from repro.matching.base import SubgraphMatcher
-from repro.runtime.method_m import MethodM
+from repro.runtime.method_m import make_method_m
 from repro.runtime.monitor import QueryMetrics, QueryResult, StatisticsMonitor
 from repro.runtime.processors import HitDiscovery
 from repro.runtime.pruner import prune_candidate_set
@@ -91,7 +91,11 @@ class GraphCacheService:
             # matcher, so config.to_dict() reconstructs this system (a
             # custom instance not in the registry can't be named).
             config = self._sync_name(config, "matcher", matcher)
-        self.method_m = MethodM(matcher, store)
+        # ``workers=1`` (the default) is the sequential reference
+        # Mverifier; >1 chunks candidates across a thread pool.  Either
+        # way answers and test counts are identical, so ``workers`` is a
+        # pure-performance knob.
+        self.method_m = make_method_m(matcher, store, config.workers)
         self.query_type = config.query_type
         self.cache = CacheManager.from_config(config)
         if internal_verifier is None and config.internal_verifier:
@@ -139,8 +143,10 @@ class GraphCacheService:
         self.close()
 
     def close(self) -> None:
-        """End the session: detach hooks; further queries raise."""
+        """End the session: detach hooks, release the Mverifier worker
+        pool (if any); further queries raise."""
         self._closed = True
+        self.method_m.close()
         self.cache.event_listener = None
         for hooks in self._hooks.values():
             hooks.clear()
@@ -231,7 +237,9 @@ class GraphCacheService:
         metrics.candidate_size = cs_m.cardinality()
         universe = self.store.max_id + 1
 
-        # (2) Hit discovery (GC+sub / GC+super processors).
+        # (2) Hit discovery (GC+sub / GC+super processors).  The query's
+        # features are computed exactly once here and flow to discovery
+        # and (below) to cache admission.
         discovery_sw = Stopwatch()
         with discovery_sw:
             features = GraphFeatures.of(query)
@@ -242,11 +250,13 @@ class GraphCacheService:
         metrics.exact_hits = len(hits.exact)
         metrics.internal_tests = hits.internal_tests
 
-        # (3) Candidate set pruning (formulas (1)-(5)).
+        # (3) Candidate set pruning (formulas (1)-(5)).  For an SI
+        # Method M, CS_M is the whole live dataset, which is exactly the
+        # id set the §6.3 optimal-case checks must test validity against.
         prune_sw = Stopwatch()
         with prune_sw:
             outcome = prune_candidate_set(self.query_type, cs_m, hits,
-                                          universe)
+                                          universe, live_ids=cs_m)
         metrics.prune_seconds = prune_sw.elapsed
         metrics.exact_hit_valid = outcome.exact_hit
         metrics.empty_shortcut = outcome.empty_shortcut
@@ -270,7 +280,8 @@ class GraphCacheService:
             self._credit_contributions(query, outcome.contributions,
                                        query_index)
             if self.caching_enabled:
-                self.cache.admit(query, answer, self.store, query_index)
+                self.cache.admit(query, answer, self.store, query_index,
+                                 features=features)
         metrics.admission_seconds = admission_sw.elapsed
 
         # (6, extension) Retrospective revalidation, off the critical path.
@@ -322,7 +333,7 @@ class GraphCacheService:
         hits = self.discovery.discover(query, self.cache.index, features)
         cs_m = self.store.ids_bitset()
         outcome = prune_candidate_set(self.query_type, cs_m, hits,
-                                      self.store.max_id + 1)
+                                      self.store.max_id + 1, live_ids=cs_m)
         # Zero-effect applications (e.g. a hit whose CGvalid bits all
         # faded) are real discoveries but contributed nothing — they stay
         # visible in the hit lists, not as formula steps.
@@ -385,6 +396,17 @@ class GraphCacheService:
         the next query); useful before inspecting cache entries."""
         self._check_open()
         return self.cache.ensure_consistency(self.store)
+
+    def purge(self) -> None:
+        """Manually drop every cached entry (cache + window).
+
+        The purge counts as having reflected all dataset changes logged
+        so far — an empty cache is consistent with any dataset state —
+        so the next query does **not** run a spurious consistency pass.
+        Fires the ``on_purge`` hook.
+        """
+        self._check_open()
+        self.cache.clear(self.store)
 
     # ------------------------------------------------------------------
     # Introspection

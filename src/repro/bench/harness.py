@@ -62,6 +62,9 @@ class BenchScale:
     ops_per_batch: int
     cache_capacity: int = 100
     window_capacity: int = 20
+    #: Mverifier worker threads (pure performance knob; answers and test
+    #: counts are identical for any value — see GCConfig.workers).
+    workers: int = 1
     #: Queries excluded from measurement at the head of the stream; the
     #: paper allows "one Window (i.e., 20 queries)" of warm-up (§7.1).
     warmup_queries: int = 20
@@ -78,6 +81,7 @@ class BenchScale:
             matcher=matcher,
             cache_capacity=self.cache_capacity,
             window_capacity=self.window_capacity,
+            workers=self.workers,
         )
 
 
@@ -160,6 +164,7 @@ class ExperimentHarness:
     def __init__(self, scale: BenchScale | None = None) -> None:
         self.scale = scale if scale is not None else current_scale()
         self._graphs = None
+        self._dataset_features = None
         self._workloads: dict[str, Workload] = {}
         self._runs: dict[tuple[str, str, str], RunResult] = {}
 
@@ -177,6 +182,16 @@ class ExperimentHarness:
             )
         return self._graphs
 
+    @property
+    def dataset_features(self):
+        """Monotone features of every dataset graph, computed once and
+        shared by all Type B workload generations."""
+        if self._dataset_features is None:
+            from repro.graphs.features import GraphFeatures
+
+            self._dataset_features = GraphFeatures.of_many(self.graphs)
+        return self._dataset_features
+
     def workload(self, name: str) -> Workload:
         """Get (and cache) a workload by paper category name."""
         if name not in self._workloads:
@@ -193,7 +208,10 @@ class ExperimentHarness:
                     answer_pool_size=s.answer_pool_size,
                     no_answer_pool_size=s.no_answer_pool_size,
                     seed=s.workload_seed,
-                ))
+                    # The dataset feature set only feeds no-answer pool
+                    # construction; the 0% category never builds one.
+                ), dataset_features=(self.dataset_features if share > 0
+                                     else None))
             else:
                 raise ValueError(
                     f"unknown workload {name!r}; choose from {ALL_WORKLOADS}"
@@ -223,7 +241,11 @@ class ExperimentHarness:
             seed=s.plan_seed,
         )
         if model == "base":
-            runner = MethodMRunner(store, make_matcher(matcher_name))
+            # The baseline gets the same Mverifier worker count as the
+            # cached cells, so speedup() never attributes verifier
+            # parallelism to caching.
+            runner = MethodMRunner(store, make_matcher(matcher_name),
+                                   workers=s.workers)
         else:
             runner = GraphCacheService(
                 store, s.cache_config(model, matcher_name)
@@ -239,22 +261,24 @@ class ExperimentHarness:
         total_purge = 0.0
         total_tests = total_internal = 0
         signature = 0
-        for i, query in enumerate(workload.queries):
-            plan.apply_due(store, i)
-            result = runner.execute(query.graph)
-            signature = hash((signature, result.answer_ids))
-            if i < warmup:
-                continue
-            m = result.metrics
-            total_query += m.query_seconds
-            total_overhead += m.overhead_seconds
-            total_consistency += m.consistency_seconds
-            total_purge += m.purge_seconds
-            total_tests += m.method_tests
-            total_internal += m.internal_tests
-
-        summary = (runner.summary()
-                   if isinstance(runner, GraphCacheService) else {})
+        try:
+            for i, query in enumerate(workload.queries):
+                plan.apply_due(store, i)
+                result = runner.execute(query.graph)
+                signature = hash((signature, result.answer_ids))
+                if i < warmup:
+                    continue
+                m = result.metrics
+                total_query += m.query_seconds
+                total_overhead += m.overhead_seconds
+                total_consistency += m.consistency_seconds
+                total_purge += m.purge_seconds
+                total_tests += m.method_tests
+                total_internal += m.internal_tests
+            summary = (runner.summary()
+                       if isinstance(runner, GraphCacheService) else {})
+        finally:
+            runner.close()  # releases the Mverifier worker pool, if any
         run_result = RunResult(
             workload=workload_name,
             matcher=matcher_name,

@@ -50,7 +50,9 @@ class CacheEntry:
       relation toward graph *i* is still guaranteed for the up-to-date
       dataset.  Initialised to the ids of all dataset graphs live at
       execution time; refreshed by the Cache Validator.
-    * ``features`` — precomputed monotone features for the query index.
+    * ``features`` — monotone features for the query index.  Callers
+      that already computed the query's features (the service does, for
+      hit discovery) pass them in; otherwise they are derived here.
     """
 
     entry_id: int
@@ -59,13 +61,14 @@ class CacheEntry:
     answer: BitSet
     valid: BitSet
     created_at: int  # index of the query in the stream (for recency)
-    features: GraphFeatures = field(init=False)
+    features: GraphFeatures | None = None
     num_vertices: int = field(init=False)
     num_edges: int = field(init=False)
 
     def __post_init__(self) -> None:
         self.query = self.query.copy()  # decouple from caller mutation
-        self.features = GraphFeatures.of(self.query)
+        if self.features is None:
+            self.features = GraphFeatures.of(self.query)
         self.num_vertices = self.query.num_vertices
         self.num_edges = self.query.num_edges
 

@@ -26,6 +26,7 @@ from repro.cache.validator import CacheValidator
 from repro.cache.window import WindowManager
 from repro.dataset.log_analyzer import analyze_log
 from repro.dataset.store import GraphStore
+from repro.graphs.features import GraphFeatures
 from repro.graphs.graph import LabeledGraph
 from repro.util.bitset import BitSet
 from repro.util.timing import Stopwatch
@@ -161,13 +162,16 @@ class CacheManager:
     # promote to the cache, replacement trims to capacity)
     # ------------------------------------------------------------------
     def admit(self, query: LabeledGraph, answer: BitSet,
-              store: GraphStore, query_index: int) -> CacheEntry:
+              store: GraphStore, query_index: int,
+              features: GraphFeatures | None = None) -> CacheEntry:
         """Create an entry for an executed query and admit it.
 
         ``answer`` is snapshot semantics (frozen); ``CGvalid`` starts as
         the set of all currently live dataset ids — the entry "holds
         validity towards its relation with all graphs in current dataset"
-        (paper §5.2, Figure 2).
+        (paper §5.2, Figure 2).  ``features`` lets callers that already
+        computed the query's monotone features (the service does, for
+        hit discovery) avoid a recomputation here.
         """
         entry = CacheEntry(
             entry_id=self._next_entry_id,
@@ -176,6 +180,7 @@ class CacheManager:
             answer=answer.copy(),
             valid=store.ids_bitset(),
             created_at=query_index,
+            features=features,
         )
         self._next_entry_id += 1
         self.statistics.register(entry.entry_id, query_index)
@@ -219,13 +224,27 @@ class CacheManager:
     # ------------------------------------------------------------------
     # Purge (EVI, or manual reset)
     # ------------------------------------------------------------------
-    def clear(self) -> None:
+    def clear(self, store: GraphStore | None = None) -> None:
+        """Drop every entry (cache, window, index, statistics).
+
+        When the purging caller passes the ``store``, the log cursor
+        advances to the log's current tail: an empty cache is trivially
+        consistent with *any* dataset state, so the purge also counts as
+        having reflected every change logged so far.  Without this, the
+        first query after a manual purge ran a spurious consistency pass
+        (EVI re-"purged" the already-empty cache and reported
+        ``purged=True``), polluting the Figure-6 overhead breakdown.
+        The EVI consistency path purges through a no-argument callback
+        and advances the cursor itself, so it is unaffected.
+        """
         cleared = (tuple(e.entry_id for e in self.all_entries())
                    if self.event_listener is not None else ())
         self._cache.clear()
         self.window.clear()
         self.index.clear()
         self.statistics.clear()
+        if store is not None:
+            self._log_cursor = store.log.last_seq
         self._emit("PURGE", cleared)
 
     def __repr__(self) -> str:

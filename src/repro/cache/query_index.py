@@ -13,6 +13,46 @@ directions before verification:
 Filtering is *complete* (never discards a true containment — guaranteed
 by :class:`repro.graphs.features.GraphFeatures` and property-tested), so
 GC+ misses no hits; verification of survivors is exact.
+
+Index organisation
+------------------
+A flat scan running the componentwise feature comparison against every
+cached entry per query made the cache itself the bottleneck at scale,
+so lookups are served from an inverted structure maintained
+incrementally on admit/evict/purge:
+
+* entries are **bucketed by** ``(num_vertices, num_edges)``; a lookup
+  only touches buckets that can satisfy the monotone size-dominance
+  check (``≥`` the query's sizes for the supergraph direction, ``≤``
+  for the subgraph direction), skipping whole groups of entries with
+  two integer comparisons;
+* a **per-label posting list** maps each vertex label to the set of
+  entry ids containing it; a query label whose posting is empty
+  short-circuits the supergraph lookup (no cached entry can contain the
+  query) before any per-bucket work;
+* the dominance test itself runs on **packed feature signatures**: all
+  monotone components of an entry's features (vertex/edge counts,
+  per-label counts, per-label-pair edge counts, and per-label counts of
+  vertices with degree ≥ d) are packed into fixed-width fields of one
+  Python big integer, with a guard bit atop each field.  Componentwise
+  ``query ≤ entry`` then collapses to three C-level big-int operations
+  — ``((entry | guards) - query) & query_guards == query_guards`` — the
+  classic SWAR borrow trick: a field's guard bit survives the
+  subtraction iff that field did not underflow, i.e. iff the entry's
+  count dominates the query's;
+* entries with **identical feature vectors share one signature group**
+  (the packed signature is a bijective encoding, so it doubles as the
+  group key).  The paper's Zipf-repeating workloads make duplicated
+  cached queries the norm, so each lookup pays one dominance test per
+  *distinct* signature rather than per entry.
+
+The signature test is *exactly* equivalent to
+:meth:`GraphFeatures.may_be_subgraph_of` (for the degree component:
+positional dominance of descending degree sequences ⟺ for every ``d``,
+the count of vertices with degree ≥ ``d`` dominates), so lookups return
+*identical* candidate pools to a linear scan — same entries, in the
+same ascending-``entry_id`` order the historical dict-scan produced —
+which the property tests assert against the brute-force scan.
 """
 
 from __future__ import annotations
@@ -22,24 +62,228 @@ from repro.graphs.features import GraphFeatures
 
 __all__ = ["QueryIndex"]
 
+#: Bits per packed field; counts must stay below the guard bit.  16
+#: bits keeps the packed integers half the size of a 32-bit layout
+#: (bigint ops scale with byte length) while allowing graphs of up to
+#: 32767 vertices/edges — far beyond the workloads' query sizes.
+#: Graphs that do exceed it are still served exactly, through the
+#: unpacked fallback below.
+_WIDTH = 16
+_GUARD = 1 << (_WIDTH - 1)
+_MAX_COUNT = _GUARD - 1
+
+#: Degree levels packed per label: one field per ``d`` in ``1..degree``.
+#: Unbounded, a single admitted star-of-degree-20000 query would
+#: permanently register 20000 fields and inflate every signature, so
+#: graphs with a vertex degree beyond this go to the unpacked overflow
+#: population instead (the paper's workloads peak around degree ~20).
+_MAX_DEGREE_LEVELS = 64
+
+
+class _FieldOverflow(Exception):
+    """Features don't fit the packed layout (gigantic or ultra-dense
+    graph); the owner is served through the unpacked fallback."""
+
+
+def _overflows(features: GraphFeatures) -> bool:
+    """True when ``features`` cannot be packed: a count beyond the
+    field width (label/pair/degree counts are all bounded by the vertex
+    and edge counts, so checking those two suffices) or a vertex degree
+    beyond the per-label field budget."""
+    if (features.num_vertices > _MAX_COUNT
+            or features.num_edges > _MAX_COUNT):
+        return True
+    return any(
+        degs and degs[0] > _MAX_DEGREE_LEVELS
+        for degs in features.degrees_by_label.values()
+    )
+
+
+def _feature_fields(features: GraphFeatures):
+    """Yield ``(field_key, count)`` for every monotone component.
+
+    Zero counts are never yielded: a zero imposes no dominance
+    constraint and packs to no bits.
+    """
+    if features.num_vertices:
+        yield ("#v",), features.num_vertices
+    if features.num_edges:
+        yield ("#e",), features.num_edges
+    for label, count in features.label_counts.items():
+        yield ("l", label), count
+    for pair, count in features.edge_label_counts.items():
+        yield ("p", pair), count
+    for label, degs in features.degrees_by_label.items():
+        # degs is sorted descending; count of vertices with degree >= d
+        # for every d present.  Positional dominance of the sorted
+        # sequences is equivalent to dominance of these tail counts.
+        if not degs or degs[0] == 0:
+            continue
+        remaining = len(degs)
+        i = 0
+        for d in range(1, degs[0] + 1):
+            while i < len(degs) and degs[len(degs) - 1 - i] < d:
+                i += 1
+            remaining = len(degs) - i
+            if remaining == 0:
+                break
+            yield ("d", label, d), remaining
+
 
 class QueryIndex:
     """Containment-direction prefilter over the cache + window entries."""
 
     def __init__(self) -> None:
         self._entries: dict[int, CacheEntry] = {}
+        #: ``(num_vertices, num_edges)`` → ``{sig: group}`` where
+        #: ``group = [sig, guard_mask, sig | all_guards, members]`` and
+        #: ``members`` maps entry id → entry.  Entries with identical
+        #: feature vectors — ubiquitous under the paper's Zipf-repeating
+        #: workloads — share one group, so each lookup pays one dominance
+        #: test per *distinct* signature, not per entry.  The packed
+        #: ``sig`` itself is the group key: it encodes every (field,
+        #: count) pair bijectively, so equal sigs ⟺ equal feature
+        #: vectors.
+        self._buckets: dict[tuple[int, int], dict[int, list]] = {}
+        #: vertex label → ids of entries with ≥ 1 vertex of that label
+        self._postings: dict[str, set[int]] = {}
+        #: field key → bit offset (append-only, so packed signatures of
+        #: existing entries stay valid as new labels/degrees appear)
+        self._offsets: dict[tuple, int] = {}
+        #: guard bit of every registered field
+        self._all_guards = 0
+        #: entry id → its group (the same list object as in the bucket)
+        self._sigs: dict[int, list] = {}
+        #: True when the registry grew after groups cached sig|guards
+        self._guards_dirty = False
+        #: entries whose feature counts overflow the packed fields
+        #: (gigantic graphs) — served through the unpacked feature check
+        self._oversized: dict[int, CacheEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Signature packing
+    # ------------------------------------------------------------------
+    def _register(self, key: tuple) -> int:
+        offset = self._offsets.get(key)
+        if offset is None:
+            offset = len(self._offsets) * _WIDTH
+            self._offsets[key] = offset
+            self._all_guards |= _GUARD << offset
+            self._guards_dirty = True
+        return offset
+
+    def _pack_entry(self, features: GraphFeatures) -> tuple[int, int]:
+        """(sig, guard_mask), growing the field registry as needed.
+
+        Raises :class:`_FieldOverflow` for features the packed layout
+        cannot represent (see :func:`_overflows`); the caller then files
+        the entry in the unpacked overflow population instead.
+        """
+        if _overflows(features):
+            raise _FieldOverflow
+        sig = 0
+        guards = 0
+        for key, count in _feature_fields(features):
+            offset = self._register(key)
+            sig |= count << offset
+            guards |= _GUARD << offset
+        return sig, guards
+
+    def _refresh_guards(self) -> None:
+        """Re-cache ``sig | all_guards`` on every group after registry
+        growth.  Amortized cheap: the field registry only grows when an
+        admitted entry carries a never-seen label/degree level, which
+        dries up once the workload's label universe has been met."""
+        all_guards = self._all_guards
+        for bucket in self._buckets.values():
+            for group in bucket.values():
+                group[2] = group[0] | all_guards
+        self._guards_dirty = False
+
+    def _pack_query(self, features: GraphFeatures) -> tuple[int, int, bool]:
+        """(sig, guard_mask, complete) against the current registry.
+
+        ``complete`` is False when the query has a field no entry ever
+        had — then nothing can dominate it (supergraph direction short-
+        circuits); such fields impose no constraint on the subgraph
+        direction, where entries only carry registered fields.  Raises
+        :class:`_FieldOverflow` for unpackable queries (see
+        :func:`_overflows`); the lookup then falls back to the unpacked
+        scan.
+        """
+        if _overflows(features):
+            raise _FieldOverflow
+        sig = 0
+        guards = 0
+        complete = True
+        offsets = self._offsets
+        for key, count in _feature_fields(features):
+            offset = offsets.get(key)
+            if offset is None:
+                complete = False
+                continue
+            sig |= count << offset
+            guards |= _GUARD << offset
+        return sig, guards, complete
 
     # ------------------------------------------------------------------
     # Maintenance (called by the Cache Manager on admit/evict/purge)
     # ------------------------------------------------------------------
     def add(self, entry: CacheEntry) -> None:
+        if entry.entry_id in self._entries:
+            # Re-adding under the same id replaces the posting/bucket
+            # state wholesale so no stale references can linger.
+            self.remove(entry.entry_id)
         self._entries[entry.entry_id] = entry
+        try:
+            sig, guards = self._pack_entry(entry.features)
+        except _FieldOverflow:
+            self._oversized[entry.entry_id] = entry
+        else:
+            bucket = self._buckets.setdefault(
+                (entry.num_vertices, entry.num_edges), {}
+            )
+            group = bucket.get(sig)
+            if group is None:
+                group = [sig, guards, sig | self._all_guards, {}]
+                bucket[sig] = group
+            group[3][entry.entry_id] = entry
+            self._sigs[entry.entry_id] = group
+        for label in entry.features.label_counts:
+            self._postings.setdefault(label, set()).add(entry.entry_id)
 
     def remove(self, entry_id: int) -> None:
-        self._entries.pop(entry_id, None)
+        entry = self._entries.pop(entry_id, None)
+        if entry is None:
+            return
+        group = self._sigs.pop(entry_id, None)
+        if group is None:
+            del self._oversized[entry_id]
+        else:
+            group[3].pop(entry_id, None)
+            if not group[3]:
+                key = (entry.num_vertices, entry.num_edges)
+                bucket = self._buckets.get(key)
+                if bucket is not None:
+                    bucket.pop(group[0], None)
+                    if not bucket:
+                        del self._buckets[key]
+        for label in entry.features.label_counts:
+            posting = self._postings.get(label)
+            if posting is not None:
+                posting.discard(entry_id)
+                if not posting:
+                    del self._postings[label]
 
     def clear(self) -> None:
         self._entries.clear()
+        self._buckets.clear()
+        self._postings.clear()
+        self._sigs.clear()
+        self._oversized.clear()
+        # The field registry survives purges deliberately: offsets are
+        # append-only so signatures can never be misread, and the label
+        # universe of a workload is small and recurring.
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -47,21 +291,161 @@ class QueryIndex:
     def entries(self) -> list[CacheEntry]:
         return list(self._entries.values())
 
+    @staticmethod
+    def _scan(entries, predicate) -> list[CacheEntry]:
+        """Unpacked filter over a (sub)population, id-ordered."""
+        out = [(e.entry_id, e) for e in entries if predicate(e)]
+        out.sort()
+        return [entry for _, entry in out]
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------
     def candidate_supergraphs(self, features: GraphFeatures) -> list[CacheEntry]:
         """Entries whose query might *contain* the new query
         (``g ⊆ g'`` candidates — the GC+sub processor's pool)."""
-        return [
-            e for e in self._entries.values()
-            if features.may_be_subgraph_of(e.features)
-        ]
+        if not self._entries:
+            return []
+        # Posting-list short-circuit: a query label no surviving entry
+        # carries (all holders evicted, though the label stays in the
+        # field registry) means no entry can contain the query.  Within
+        # surviving groups the signature test itself subsumes the
+        # per-label screen, exactly.
+        for label in features.label_counts:
+            if not self._postings.get(label):
+                return []
+        if self._guards_dirty:
+            self._refresh_guards()
+        try:
+            q_sig, q_guards, complete = self._pack_query(features)
+        except _FieldOverflow:
+            # A gigantic query: nothing packable can contain it, so only
+            # the (equally gigantic) overflow population needs checking.
+            return self._scan(
+                self._oversized.values(),
+                lambda e: features.may_be_subgraph_of(e.features),
+            )
+        if complete:
+            nv, ne = features.num_vertices, features.num_edges
+            out: list[tuple[int, CacheEntry]] = []
+            for (bv, be), bucket in self._buckets.items():
+                if bv < nv or be < ne:
+                    continue
+                # One dominance test per distinct signature: a guard bit
+                # survives the subtraction iff the group's field
+                # dominates the query's (see module docstring).
+                for g in bucket.values():
+                    if (g[2] - q_sig) & q_guards == q_guards:
+                        out += g[3].items()
+        else:
+            # Some query feature was never packed by any entry: no
+            # packed entry can contain the query.
+            out = []
+        for entry_id, entry in self._oversized.items():
+            if features.may_be_subgraph_of(entry.features):
+                out.append((entry_id, entry))
+        out.sort()  # ids are unique: entries are never compared
+        return [entry for _, entry in out]
 
     def candidate_subgraphs(self, features: GraphFeatures) -> list[CacheEntry]:
         """Entries whose query might be *contained in* the new query
         (``g'' ⊆ g`` candidates — the GC+super processor's pool)."""
-        return [
-            e for e in self._entries.values()
-            if e.features.may_be_subgraph_of(features)
-        ]
+        if not self._entries:
+            return []
+        try:
+            q_sig, _, _ = self._pack_query(features)
+        except _FieldOverflow:
+            # A gigantic query may contain anything: unpacked full scan.
+            return self._scan(
+                self._entries.values(),
+                lambda e: e.features.may_be_subgraph_of(features),
+            )
+        q_guarded = q_sig | self._all_guards
+        nv, ne = features.num_vertices, features.num_edges
+        out: list[tuple[int, CacheEntry]] = []
+        for (bv, be), bucket in self._buckets.items():
+            if bv > nv or be > ne:
+                continue
+            for g in bucket.values():
+                if (q_guarded - g[0]) & g[1] == g[1]:
+                    out += g[3].items()
+        for entry_id, entry in self._oversized.items():
+            if entry.features.may_be_subgraph_of(features):
+                out.append((entry_id, entry))
+        out.sort()  # ids are unique: entries are never compared
+        return [entry for _, entry in out]
+
+    # ------------------------------------------------------------------
+    # Self-check (used by the churn tests; cheap enough for debugging)
+    # ------------------------------------------------------------------
+    def audit(self) -> None:
+        """Assert buckets, postings, groups and signatures exactly
+        mirror the entry population: no stale ids survive
+        eviction/purge, no empty bucket/group/posting is retained,
+        every entry is findable."""
+        bucketed: dict[int, CacheEntry] = {}
+        for (bv, be), bucket in self._buckets.items():
+            assert bucket, f"empty bucket {(bv, be)} retained"
+            for sig_key, group in bucket.items():
+                assert group[3], f"empty group {sig_key} retained"
+                assert group[0] == sig_key, (
+                    f"group filed under wrong signature in {(bv, be)}"
+                )
+                assert self._guards_dirty or (
+                    group[2] == group[0] | self._all_guards
+                ), f"stale guarded signature for group {sig_key}"
+                for entry_id, entry in group[3].items():
+                    assert (entry.num_vertices, entry.num_edges) == \
+                        (bv, be), (
+                            f"entry {entry_id} filed under wrong bucket "
+                            f"{(bv, be)}"
+                        )
+                    assert self._sigs.get(entry_id) is group, (
+                        f"entry {entry_id} maps to a different group"
+                    )
+                    assert entry_id not in bucketed, (
+                        f"entry {entry_id} appears in two groups"
+                    )
+                    bucketed[entry_id] = entry
+        for entry_id, entry in self._oversized.items():
+            assert _overflows(entry.features), (
+                f"entry {entry_id} filed as oversized but its features "
+                f"are packable"
+            )
+            assert entry_id not in bucketed, (
+                f"oversized entry {entry_id} also appears in a group"
+            )
+            bucketed[entry_id] = entry
+        assert bucketed.keys() == self._entries.keys(), (
+            f"bucket population {sorted(bucketed)} != "
+            f"entries {sorted(self._entries)}"
+        )
+        assert all(bucketed[eid] is self._entries[eid] for eid in bucketed), (
+            "bucket holds a different object than the entry map"
+        )
+        expected_postings: dict[str, set[int]] = {}
+        for entry_id, entry in self._entries.items():
+            for label in entry.features.label_counts:
+                expected_postings.setdefault(label, set()).add(entry_id)
+        assert self._postings == expected_postings, (
+            "postings drifted from the entry population"
+        )
+        assert self._sigs.keys() | self._oversized.keys() == \
+            self._entries.keys(), (
+                "signature map drifted from the entry population"
+            )
+        for entry_id, entry in self._entries.items():
+            if entry_id in self._oversized:
+                continue
+            sig = 0
+            guards = 0
+            for key, count in _feature_fields(entry.features):
+                offset = self._offsets[key]
+                sig |= count << offset
+                guards |= _GUARD << offset
+            assert self._sigs[entry_id][0] == sig, (
+                f"stale packed signature for entry {entry_id}"
+            )
+            assert self._sigs[entry_id][1] == guards, (
+                f"stale guard mask for entry {entry_id}"
+            )

@@ -25,12 +25,21 @@ __all__ = ["EntryStats", "StatisticsManager"]
 
 @dataclass
 class EntryStats:
-    """Benefit counters for one cached query."""
+    """Benefit counters for one cached query.
+
+    ``last_used`` is the LRU recency signal: the stream index of the
+    entry's most recent *use*.  Admission counts as the first use —
+    :meth:`StatisticsManager.register` seeds it with ``created_at`` so a
+    brand-new entry is never the instant LRU victim — and each crediting
+    contribution (``tests_saved > 0``) refreshes it.  The ``-1`` default
+    therefore only ever appears on a bare, unregistered ``EntryStats()``
+    and means "not yet admitted"; no replacement policy observes it.
+    """
 
     tests_saved: int = 0      # R
     cost_saved: float = 0.0   # C
     hits: int = 0             # times the entry pruned something (for LFU)
-    last_used: int = -1       # query index of last contribution (for LRU)
+    last_used: int = -1       # query index of last use (see class doc)
     created_at: int = 0
 
 
@@ -43,6 +52,9 @@ class StatisticsManager:
         self._stats: dict[int, EntryStats] = {}
 
     def register(self, entry_id: int, created_at: int) -> None:
+        """Start tracking a newly admitted entry; the admission itself
+        counts as the entry's first use (LRU recency — see
+        :class:`EntryStats`)."""
         self._stats[entry_id] = EntryStats(created_at=created_at,
                                            last_used=created_at)
 

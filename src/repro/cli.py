@@ -88,9 +88,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.model.lower() == "none":
             config = GCConfig.from_dict({
                 "query_type": args.query_type, "matcher": args.matcher,
+                "workers": args.workers,
             })
             runner = MethodMRunner(store, make_matcher(config.matcher),
-                                   query_type=config.query_type)
+                                   query_type=config.query_type,
+                                   workers=config.workers)
         else:
             config = GCConfig.from_dict({
                 "model": args.model,
@@ -100,6 +102,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "cache_capacity": args.cache_capacity,
                 "window_capacity": args.window_capacity,
                 "retro_budget": args.retro_budget,
+                "workers": args.workers,
             })
             runner = GraphCacheService(store, config)
     except ValueError as exc:
@@ -121,20 +124,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
     total_time = 0.0
     total_tests = 0
     answers = 0
-    for i, query in enumerate(queries):
-        if plan is not None:
-            if service is not None:
-                service.apply(plan, i)
-            else:
-                plan.apply_due(store, i)
-        if service is not None and i == args.explain:
-            print(f"explain plan for query {i}:")
-            print(service.explain(query).describe())
-            print()
-        result = runner.execute(query)
-        total_time += result.metrics.query_seconds
-        total_tests += result.metrics.method_tests
-        answers += result.metrics.answer_size
+    try:
+        for i, query in enumerate(queries):
+            if plan is not None:
+                if service is not None:
+                    service.apply(plan, i)
+                else:
+                    plan.apply_due(store, i)
+            if service is not None and i == args.explain:
+                print(f"explain plan for query {i}:")
+                print(service.explain(query).describe())
+                print()
+            result = runner.execute(query)
+            total_time += result.metrics.query_seconds
+            total_tests += result.metrics.method_tests
+            answers += result.metrics.answer_size
+    finally:
+        runner.close()  # releases the Mverifier worker pool, if any
 
     rows = [{
         "queries": len(queries),
@@ -199,6 +205,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-capacity", type=int, default=100)
     run.add_argument("--window-capacity", type=int, default=20)
     run.add_argument("--retro-budget", type=int, default=0)
+    run.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="Mverifier worker threads (1 = sequential "
+                          "reference path; answers are identical either "
+                          "way)")
     run.add_argument("--explain", type=int, default=-1, metavar="N",
                      help="print the cache's explain plan before query N")
     run.add_argument("--change-batches", type=int, default=0)

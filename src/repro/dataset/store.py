@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Iterator, KeysView
 
 from repro.dataset.log import OpType, UpdateLog
+from repro.graphs.features import GraphFeatures
 from repro.graphs.graph import LabeledGraph
 from repro.util.bitset import BitSet
 
@@ -37,6 +38,8 @@ class GraphStore:
         self.log = log if log is not None else UpdateLog()
         self._live_vertices = 0          # Σ|V| over live graphs
         self._ids_cache: BitSet | None = None  # invalidated by ADD/DEL
+        #: graph id → (graph.version, features) — see :meth:`features`
+        self._features_cache: dict[int, tuple[int, GraphFeatures]] = {}
 
     # ------------------------------------------------------------------
     # Bulk construction
@@ -72,6 +75,7 @@ class GraphStore:
         self._live_vertices -= self._graphs[graph_id].num_vertices
         del self._graphs[graph_id]
         self._ids_cache = None
+        self._features_cache.pop(graph_id, None)
         self.log.append(OpType.DEL, graph_id)
 
     def add_edge(self, graph_id: int, u: int, v: int) -> None:
@@ -92,6 +96,30 @@ class GraphStore:
     def get(self, graph_id: int) -> LabeledGraph:
         self._require(graph_id)
         return self._graphs[graph_id]
+
+    def features(self, graph_id: int) -> GraphFeatures:
+        """Monotone features of a live graph, memoized once per graph.
+
+        Staleness is detected through :attr:`LabeledGraph.version` — a
+        UA/UR edge mutation bumps the graph's version, so the next call
+        recomputes; DEL drops the memo with the graph.  Features are
+        immutable, so sharing one instance across readers is safe.
+
+        This is the accessor for dataset-side tooling (workload
+        generators, benchmarks, ad-hoc analysis over a store).  The
+        query hot path deliberately does *not* consume dataset-graph
+        features: prefiltering Method-M candidates by features would
+        change the ``method_tests`` counts the paper's Figure 5
+        reports, trading reproduction fidelity for speed.
+        """
+        self._require(graph_id)
+        graph = self._graphs[graph_id]
+        memo = self._features_cache.get(graph_id)
+        if memo is not None and memo[0] == graph.version:
+            return memo[1]
+        feats = GraphFeatures.of(graph)
+        self._features_cache[graph_id] = (graph.version, feats)
+        return feats
 
     def __contains__(self, graph_id: int) -> bool:
         return graph_id in self._graphs

@@ -21,6 +21,7 @@ Features used (all monotone for non-induced subgraph isomorphism):
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 from typing import Hashable
 
@@ -51,6 +52,20 @@ class GraphFeatures:
     label_counts: dict[str, int] = field(hash=False)
     edge_label_counts: dict[tuple[str, str], int] = field(hash=False)
     degrees_by_label: dict[str, tuple[int, ...]] = field(hash=False)
+
+    @classmethod
+    def of_many(cls, graphs: Iterable[LabeledGraph]) -> list["GraphFeatures"]:
+        """Features for a whole graph collection, order-preserving.
+
+        The shared helper behind dataset-level feature sets (Type B
+        workload generation, the bench harness): computing these once
+        and passing the list around replaces the independent
+        per-call-site recomputation that used to dominate
+        workload-generation time.  For id-addressed access over a
+        mutating dataset, use the version-aware
+        :meth:`repro.dataset.store.GraphStore.features` memo instead.
+        """
+        return [cls.of(g) for g in graphs]
 
     @classmethod
     def of(cls, graph: LabeledGraph) -> "GraphFeatures":

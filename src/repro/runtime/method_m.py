@@ -9,13 +9,17 @@ baseline candidate set is the entire live dataset.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
+from concurrent.futures import ThreadPoolExecutor
+
 from repro.cache.entry import QueryType
 from repro.dataset.store import GraphStore
 from repro.graphs.graph import LabeledGraph
 from repro.matching.base import SubgraphMatcher
 from repro.util.bitset import BitSet
 
-__all__ = ["MethodM", "MethodMRunner", "estimate_test_cost"]
+__all__ = ["MethodM", "ParallelMethodM", "MethodMRunner",
+           "estimate_test_cost", "make_method_m"]
 
 
 def estimate_test_cost(query: LabeledGraph, host: LabeledGraph) -> float:
@@ -60,6 +64,202 @@ class MethodM:
                 answer.set(gid)
         return answer, tests
 
+    def close(self) -> None:
+        """Release verifier resources (no-op for the sequential path)."""
+
+
+class ParallelMethodM(MethodM):
+    """Mverifier that chunks the candidate bitset across a worker pool.
+
+    The candidate ids are split into ``workers`` contiguous chunks, each
+    verified on its own thread, and the per-chunk answer bitsets are
+    OR-merged.  The partition is deterministic, every candidate is
+    tested exactly once, and bitset OR is commutative — so the answer
+    *and* the test count are identical to the sequential path for any
+    worker count and any thread schedule.
+
+    ``workers=1`` bypasses the pool entirely and runs the inherited
+    sequential loop, byte-for-byte the same code path as
+    :class:`MethodM`.
+
+    Threads vs processes
+    --------------------
+    Threads are the first (and default) pool flavour deliberately: the
+    bundled matchers are pure Python, so under CPython's GIL ``workers >
+    1`` yields little wall-clock gain *today* — the knob exists so that
+    a matcher backed by GIL-releasing native code (or a free-threaded
+    CPython build) parallelises with zero further plumbing, and so the
+    chunked-merge verification semantics are locked in by tests now.
+    Processes were rejected for the first cut: candidate bitsets and
+    mutable ``LabeledGraph`` stores would have to be pickled per query,
+    which costs more than the sub-iso tests they would parallelise.
+
+    ``matcher_factory`` builds one private matcher per worker, so no
+    matcher instance is ever shared across threads (user matchers may
+    keep per-call state on ``self``) and the per-matcher work counters
+    (:class:`~repro.matching.base.MatcherStats`) are updated race-free;
+    the clones' counters are folded back into the primary matcher after
+    every parallel verification.  Without a factory — a custom matcher
+    instance, or a registered one carrying non-default configuration
+    that a by-name clone would not reproduce — verification falls back
+    to the sequential path: correctness is never traded for
+    parallelism.
+    """
+
+    def __init__(self, matcher: SubgraphMatcher, store: GraphStore,
+                 workers: int,
+                 matcher_factory: Callable[[], SubgraphMatcher] | None = None,
+                 ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        super().__init__(matcher, store)
+        self.workers = workers
+        self._factory = matcher_factory
+        self._executor: ThreadPoolExecutor | None = None
+        self._clones: list[SubgraphMatcher] | None = None
+
+    def verify(self, query: LabeledGraph, candidate_ids: BitSet,
+               query_type: QueryType) -> tuple[BitSet, int]:
+        if self.workers == 1 or self._factory is None:
+            return super().verify(query, candidate_ids, query_type)
+        ids = list(candidate_ids)
+        if len(ids) < 2:
+            return super().verify(query, candidate_ids, query_type)
+        chunks = _split_chunks(ids, self.workers)
+        matchers = self._worker_matchers()
+        subgraph_semantics = query_type is QueryType.SUBGRAPH
+        futures = [
+            self._pool().submit(self._verify_chunk, matchers[i], query,
+                                chunk, candidate_ids.size,
+                                subgraph_semantics)
+            for i, chunk in enumerate(chunks)
+        ]
+        answer = BitSet(candidate_ids.size)
+        tests = 0
+        for future in futures:
+            chunk_answer, chunk_tests = future.result()
+            answer = answer | chunk_answer
+            tests += chunk_tests
+        self._fold_clone_stats()
+        return answer, tests
+
+    def _verify_chunk(self, matcher: SubgraphMatcher, query: LabeledGraph,
+                      ids: Sequence[int], size: int,
+                      subgraph_semantics: bool) -> tuple[BitSet, int]:
+        answer = BitSet(size)
+        tests = 0
+        store = self.store
+        is_sub = matcher.is_subgraph_isomorphic
+        for gid in ids:
+            if gid not in store:
+                continue
+            host = store.get(gid)
+            tests += 1
+            if subgraph_semantics:
+                hit = is_sub(query, host)
+            else:
+                hit = is_sub(host, query)
+            if hit:
+                answer.set(gid)
+        return answer, tests
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="mverifier"
+            )
+        return self._executor
+
+    def _worker_matchers(self) -> list[SubgraphMatcher]:
+        if self._clones is None:
+            self._clones = [self._factory() for _ in range(self.workers)]
+        return self._clones
+
+    def _fold_clone_stats(self) -> None:
+        """Accumulate the worker matchers' counters into the primary
+        matcher so ``service.matcher.stats`` keeps reporting totals."""
+        if self._clones is None:
+            return
+        main = self.matcher.stats
+        for clone in self._clones:
+            s = clone.stats
+            main.tests += s.tests
+            main.states += s.states
+            main.found += s.found
+            s.reset()
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+def _split_chunks(ids: Sequence[int], workers: int) -> list[Sequence[int]]:
+    """Deterministic near-equal contiguous partition, empty chunks
+    dropped."""
+    n = len(ids)
+    base, extra = divmod(n, workers)
+    chunks: list[Sequence[int]] = []
+    start = 0
+    for i in range(workers):
+        length = base + (1 if i < extra else 0)
+        if length == 0:
+            break
+        chunks.append(ids[start:start + length])
+        start += length
+    return chunks
+
+
+def _registry_factory(
+    matcher: SubgraphMatcher,
+) -> Callable[[], SubgraphMatcher] | None:
+    """Per-worker clone factory, or None to share the one instance.
+
+    Cloning by registered name is only valid when the instance is
+    interchangeable with a default-constructed one — a custom-configured
+    matcher (e.g. a GraphQL matcher with a non-default profile radius)
+    must not be silently mixed with default-parameter clones.  For such
+    instances this returns None and :class:`ParallelMethodM` verifies
+    sequentially (instances are never shared across threads: a user
+    matcher may keep per-call state on ``self``).
+    """
+    from repro.matching import MATCHERS, make_matcher
+
+    name = getattr(matcher, "name", None)
+    if name not in MATCHERS:
+        return None
+    probe = make_matcher(name)
+    if type(probe) is not type(matcher):
+        return None
+
+    def config_state(m: SubgraphMatcher) -> dict:
+        return {k: v for k, v in vars(m).items() if k != "stats"}
+
+    if config_state(probe) != config_state(matcher):
+        return None
+    return lambda: make_matcher(name)
+
+
+def make_method_m(matcher: SubgraphMatcher, store: GraphStore,
+                  workers: int = 1,
+                  matcher_factory: Callable[[], SubgraphMatcher] | None = None,
+                  ) -> MethodM:
+    """The Mverifier for a worker count: sequential for ``workers=1``
+    (exactly the historical code path), chunked-parallel otherwise.
+
+    ``matcher_factory`` defaults to cloning ``matcher`` by its
+    registered name, so parallel workers always run the same algorithm
+    and configuration as the primary matcher; for matchers no factory
+    can faithfully clone, the parallel verifier degrades to the
+    sequential path rather than share one instance across threads.
+    """
+    if workers == 1:
+        return MethodM(matcher, store)
+    if matcher_factory is None:
+        matcher_factory = _registry_factory(matcher)
+    return ParallelMethodM(matcher, store, workers,
+                           matcher_factory=matcher_factory)
+
 
 class MethodMRunner:
     """The bare baseline: Method M over the whole dataset, no cache.
@@ -70,9 +270,10 @@ class MethodMRunner:
     """
 
     def __init__(self, store: GraphStore, matcher: SubgraphMatcher,
-                 query_type: QueryType = QueryType.SUBGRAPH) -> None:
+                 query_type: QueryType = QueryType.SUBGRAPH,
+                 workers: int = 1) -> None:
         self.store = store
-        self.method_m = MethodM(matcher, store)
+        self.method_m = make_method_m(matcher, store, workers)
         self.query_type = query_type
 
     def execute(self, query: LabeledGraph):
@@ -91,3 +292,7 @@ class MethodMRunner:
             verify_seconds=sw.elapsed,
         )
         return QueryResult(answer=answer, metrics=metrics)
+
+    def close(self) -> None:
+        """Release the verifier's worker pool (no-op for ``workers=1``)."""
+        self.method_m.close()

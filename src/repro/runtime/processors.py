@@ -6,7 +6,9 @@ GC+sub/GC+super"*.  Discovery is a two-stage FTV pipeline over the small
 cached-query population:
 
 1. the :class:`~repro.cache.query_index.QueryIndex` filters each
-   direction with monotone features (complete — no missed hits);
+   direction with monotone features (complete — no missed hits), served
+   from its ``(num_vertices, num_edges)`` buckets and per-label posting
+   lists rather than a scan of every cached entry;
 2. an internal sub-iso verifier confirms the survivors.
 
 The internal verifier's tests are **not** Method-M sub-iso tests (those

@@ -77,11 +77,21 @@ class PruneOutcome:
 
 def prune_candidate_set(query_type: QueryType, cs_m: BitSet,
                         discovery: DiscoveryResult,
-                        universe_size: int) -> PruneOutcome:
+                        universe_size: int,
+                        live_ids: BitSet | None = None) -> PruneOutcome:
     """Apply formulas (1)–(5) to the Method-M candidate set ``cs_m``.
 
     ``universe_size`` is ``max_graph_id + 1`` — the id space against which
     formula (4)'s complement is taken.
+
+    ``live_ids`` is the set of *all* currently live dataset graph ids,
+    against which the §6.3 optimal-case checks test ``fully_valid`` —
+    the paper requires the entry to "hold validity towards its relation
+    with all graphs in current dataset", not merely the graphs Method M
+    happens to be considering.  It defaults to ``cs_m``, which is exact
+    for SI methods (their candidate set *is* the whole live dataset,
+    §4); callers handing a narrowed ``cs_m`` must pass ``live_ids``
+    explicitly or the anatomy flags over-report the optimal cases.
     """
     if query_type is QueryType.SUBGRAPH:
         answer_entries = discovery.containing
@@ -135,7 +145,7 @@ def prune_candidate_set(query_type: QueryType, cs_m: BitSet,
 
     # §6.3 optimal-case detection (reporting only; the formulas above
     # already produce the optimal candidate sets).
-    current_ids = cs_m
+    current_ids = live_ids if live_ids is not None else cs_m
     for entry in discovery.exact:
         if entry.fully_valid(current_ids):
             outcome.exact_hit = True

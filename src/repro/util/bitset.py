@@ -52,19 +52,21 @@ class BitSet:
         """Build a bitset with the given bit indices set.
 
         When ``size`` is omitted the logical size becomes one past the
-        highest set bit.
+        highest set bit.  Indices are validated as they are consumed —
+        an out-of-range or negative index raises *before* the bitset is
+        materialised, never after partial construction work.
         """
         bits = 0
         top = -1
         for i in indices:
             if i < 0:
                 raise ValueError(f"bit index must be non-negative, got {i}")
+            if size is not None and i >= size:
+                raise ValueError(f"index {i} does not fit in size {size}")
             bits |= 1 << i
             if i > top:
                 top = i
         out = cls(size if size is not None else top + 1)
-        if size is not None and top >= size:
-            raise ValueError(f"index {top} does not fit in size {size}")
         out._bits = bits
         return out
 

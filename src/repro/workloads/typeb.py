@@ -139,7 +139,9 @@ def _has_empty_answer(query: LabeledGraph, graphs: Sequence[LabeledGraph],
 
 def _build_no_answer_pool(graphs: Sequence[LabeledGraph], pool_size: int,
                           sizes: Sequence[int], rng: random.Random,
-                          max_relabel_attempts: int) -> list[Query]:
+                          max_relabel_attempts: int,
+                          dataset_features: Sequence[GraphFeatures] | None
+                          = None) -> list[Query]:
     """Pool 2: relabeled walks with non-empty candidate set, empty answer.
 
     "Randomly selected labels from the dataset" draws from the label
@@ -153,7 +155,8 @@ def _build_no_answer_pool(graphs: Sequence[LabeledGraph], pool_size: int,
     label_population = [
         str(g.label(v)) for g in graphs for v in g.vertices()
     ]
-    features = [GraphFeatures.of(g) for g in graphs]
+    features = (list(dataset_features) if dataset_features is not None
+                else GraphFeatures.of_many(graphs))
     verifier = VF2PlusMatcher()
     pool: list[Query] = []
     weights = [g.num_vertices for g in graphs]
@@ -190,14 +193,28 @@ def _build_no_answer_pool(graphs: Sequence[LabeledGraph], pool_size: int,
 
 def generate_type_b(graphs: Sequence[LabeledGraph],
                     config: TypeBConfig | None = None,
+                    dataset_features: Sequence[GraphFeatures] | None = None,
                     **overrides: object) -> Workload:
-    """Generate a Type B workload (paper categories "0%", "20%", "50%")."""
+    """Generate a Type B workload (paper categories "0%", "20%", "50%").
+
+    ``dataset_features`` optionally supplies precomputed
+    :meth:`GraphFeatures.of_many(graphs) <GraphFeatures.of_many>` so
+    callers generating several workloads over the same dataset (the
+    bench harness builds three Type B categories) don't recompute the
+    dataset's feature set per call; it must align index-for-index with
+    ``graphs``.
+    """
     if config is None:
         config = TypeBConfig(**overrides)  # type: ignore[arg-type]
     elif overrides:
         raise TypeError("pass either a config object or overrides, not both")
     if not graphs:
         raise ValueError("dataset must be non-empty")
+    if dataset_features is not None and len(dataset_features) != len(graphs):
+        raise ValueError(
+            f"dataset_features length {len(dataset_features)} does not "
+            f"match {len(graphs)} graphs"
+        )
     rng = random.Random(config.seed)
     answer_pool = _build_answer_pool(
         graphs, config.answer_pool_size, config.sizes, rng
@@ -206,7 +223,7 @@ def generate_type_b(graphs: Sequence[LabeledGraph],
     if config.no_answer_probability > 0:
         no_answer_pool = _build_no_answer_pool(
             graphs, config.no_answer_pool_size, config.sizes, rng,
-            config.max_relabel_attempts,
+            config.max_relabel_attempts, dataset_features=dataset_features,
         )
     answer_zipf = ZipfSampler(len(answer_pool), config.alpha, rng)
     no_answer_zipf = (ZipfSampler(len(no_answer_pool), config.alpha, rng)

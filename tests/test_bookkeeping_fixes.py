@@ -1,0 +1,222 @@
+"""Regression tests for the cache-bookkeeping fixes.
+
+* manual purge advances the consistency cursor (no spurious pass);
+* the §6.3 optimal-case checks test validity against the *live* id set,
+  not whatever candidate set the caller happened to pass;
+* ``BitSet.from_indices`` validates indices before building;
+* ``EntryStats.last_used`` recency semantics (admission counts as the
+  first use) are what the LRU policy actually consumes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import GCConfig, GraphCacheService
+from repro.cache.entry import CacheEntry, QueryType
+from repro.cache.manager import NOOP_CONSISTENCY, CacheManager
+from repro.cache.replacement import LRUPolicy
+from repro.cache.statistics import EntryStats, StatisticsManager
+from repro.dataset.store import GraphStore
+from repro.graphs.graph import LabeledGraph
+from repro.runtime.processors import DiscoveryResult
+from repro.runtime.pruner import prune_candidate_set
+from repro.util.bitset import BitSet
+
+
+def two_graph_store() -> GraphStore:
+    return GraphStore.from_graphs([
+        LabeledGraph.from_edges("CCO", [(0, 1), (1, 2)]),
+        LabeledGraph.from_edges("CO", [(0, 1)]),
+    ])
+
+
+class TestManualPurgeCursor:
+    @pytest.mark.parametrize("model", ["EVI", "CON"])
+    def test_purge_reflects_pending_changes(self, model):
+        store = two_graph_store()
+        with GraphCacheService(store, GCConfig(model=model)) as service:
+            service.execute(LabeledGraph.from_edges("CO", [(0, 1)]))
+            service.add_graph(LabeledGraph.from_edges("CC", [(0, 1)]))
+            assert service.cache.pending_log_records(store) == 1
+            service.purge()
+            # The purge counts as having reflected the logged change:
+            # nothing is pending, the next consistency pass is a no-op.
+            assert service.cache.pending_log_records(store) == 0
+            assert service.refresh() is NOOP_CONSISTENCY
+
+    def test_no_spurious_pass_after_manual_purge(self):
+        """Pre-fix, the first query after a manual purge re-ran the EVI
+        purge on the already-empty cache and reported ``purged=True``,
+        polluting the Figure-6 overhead breakdown."""
+        store = two_graph_store()
+        with GraphCacheService(store, GCConfig(model="EVI")) as service:
+            service.execute(LabeledGraph.from_edges("CO", [(0, 1)]))
+            service.add_graph(LabeledGraph.from_edges("CC", [(0, 1)]))
+            service.purge()
+            result = service.execute(
+                LabeledGraph.from_edges("CO", [(0, 1)]))
+            assert result.metrics.purge_seconds == 0.0
+            assert service.monitor.purge_time.total == 0.0
+
+    def test_manager_clear_without_store_keeps_cursor(self):
+        """The no-argument form stays available (the EVI protocol purges
+        through it and advances the cursor itself)."""
+        store = two_graph_store()
+        manager = CacheManager()
+        manager.admit(LabeledGraph.from_edges("CO", [(0, 1)]),
+                      BitSet(), store, 0)
+        store.add_graph(LabeledGraph.from_edges("CC", [(0, 1)]))
+        manager.clear()
+        assert manager.pending_log_records(store) == 1
+        manager.clear(store)
+        assert manager.pending_log_records(store) == 0
+
+    def test_purge_fires_hook_and_empties_cache(self):
+        store = two_graph_store()
+        events = []
+        with GraphCacheService(store, GCConfig()) as service:
+            service.on_purge(events.append)
+            service.execute(LabeledGraph.from_edges("CO", [(0, 1)]))
+            service.purge()
+            assert service.cache.cache_size == 0
+            assert service.cache.window_size == 0
+        assert len(events) == 1
+
+
+class TestPrunerLiveIds:
+    """§6.3: "fully valid" means valid towards *all* graphs in the
+    current dataset — not merely the candidate set Method M considers."""
+
+    def _exact_entry(self, valid_ids, answer_ids, universe=4) -> CacheEntry:
+        g = LabeledGraph.from_edges("CO", [(0, 1)])
+        return CacheEntry(
+            entry_id=0, query=g, query_type=QueryType.SUBGRAPH,
+            answer=BitSet.from_indices(answer_ids, size=universe),
+            valid=BitSet.from_indices(valid_ids, size=universe),
+            created_at=0,
+        )
+
+    def test_exact_hit_not_reported_when_validity_lags_live_set(self):
+        # Entry is valid on {0, 1} but the live dataset is {0, 1, 2}.
+        entry = self._exact_entry(valid_ids=[0, 1], answer_ids=[0])
+        discovery = DiscoveryResult(containing=[entry], contained=[entry],
+                                    exact=[entry])
+        live = BitSet.from_indices([0, 1, 2], size=4)
+        narrowed = BitSet.from_indices([0, 1], size=4)
+        # A narrowed candidate set must not fool the optimal-case check.
+        outcome = prune_candidate_set(QueryType.SUBGRAPH, narrowed,
+                                      discovery, 4, live_ids=live)
+        assert not outcome.exact_hit
+
+    def test_exact_hit_reported_when_fully_valid_on_live_set(self):
+        entry = self._exact_entry(valid_ids=[0, 1, 2], answer_ids=[0])
+        discovery = DiscoveryResult(containing=[entry], contained=[entry],
+                                    exact=[entry])
+        live = BitSet.from_indices([0, 1, 2], size=4)
+        outcome = prune_candidate_set(QueryType.SUBGRAPH, live.copy(),
+                                      discovery, 4, live_ids=live)
+        assert outcome.exact_hit
+
+    def test_empty_shortcut_uses_live_ids(self):
+        entry = self._exact_entry(valid_ids=[0, 1], answer_ids=[])
+        discovery = DiscoveryResult(contained=[entry])
+        live = BitSet.from_indices([0, 1, 2], size=4)
+        narrowed = BitSet.from_indices([0, 1], size=4)
+        outcome = prune_candidate_set(QueryType.SUBGRAPH, narrowed,
+                                      discovery, 4, live_ids=live)
+        assert not outcome.empty_shortcut
+        # Without live_ids the check falls back to cs_m (exact for SI
+        # methods, whose CS_M is the whole live dataset) — test-locking
+        # the documented default.
+        outcome = prune_candidate_set(QueryType.SUBGRAPH, narrowed,
+                                      discovery, 4)
+        assert outcome.empty_shortcut
+
+
+class TestBitSetValidation:
+    def test_oversized_index_raises_even_when_not_last(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            BitSet.from_indices([5, 1], size=3)
+
+    def test_generator_input_validated(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            BitSet.from_indices(iter([0, 7]), size=4)
+
+    def test_negative_still_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            BitSet.from_indices([2, -1], size=4)
+
+    def test_boundary_index_accepted(self):
+        b = BitSet.from_indices([2], size=3)
+        assert b.get(2) and b.size == 3
+
+
+class TestGraphStoreFeaturesMemo:
+    def test_memo_returns_same_instance_until_mutation(self):
+        store = two_graph_store()
+        first = store.features(0)
+        assert first.num_vertices == 3
+        assert store.features(0) is first  # memoized
+        store.add_edge(0, 0, 2)  # UA bumps the graph's version
+        refreshed = store.features(0)
+        assert refreshed is not first
+        assert refreshed.num_edges == 3
+
+    def test_edge_removal_invalidates(self):
+        store = two_graph_store()
+        before = store.features(0)
+        store.remove_edge(0, 1, 2)
+        assert store.features(0).num_edges == before.num_edges - 1
+
+    def test_delete_drops_memo_and_raises(self):
+        store = two_graph_store()
+        store.features(1)
+        store.delete_graph(1)
+        with pytest.raises(KeyError):
+            store.features(1)
+
+    def test_matches_direct_computation(self):
+        from repro.graphs.features import GraphFeatures
+
+        store = two_graph_store()
+        assert store.features(1) == GraphFeatures.of(store.get(1))
+
+
+class TestLRURecencySemantics:
+    def test_register_seeds_last_used_with_created_at(self):
+        stats = StatisticsManager()
+        stats.register(1, created_at=17)
+        assert stats.get(1).last_used == 17
+        assert stats.get(1).created_at == 17
+
+    def test_bare_entry_stats_keeps_never_used_sentinel(self):
+        assert EntryStats().last_used == -1
+
+    def test_zero_credit_does_not_touch_recency(self):
+        stats = StatisticsManager()
+        stats.register(1, created_at=3)
+        stats.credit(1, tests_saved=0, cost_saved=0.0, query_index=9)
+        assert stats.get(1).last_used == 3
+        assert stats.get(1).hits == 0
+
+    def test_contribution_refreshes_recency(self):
+        stats = StatisticsManager()
+        stats.register(1, created_at=3)
+        stats.credit(1, tests_saved=2, cost_saved=1.0, query_index=9)
+        assert stats.get(1).last_used == 9
+        assert stats.get(1).hits == 1
+
+    def test_lru_prefers_evicting_stale_over_fresh_admission(self):
+        """Admission-as-first-use: a brand-new entry outranks an old
+        entry that never contributed since its own admission."""
+        stats = StatisticsManager()
+        stats.register(0, created_at=0)   # old, never used again
+        stats.register(1, created_at=50)  # freshly admitted
+        g = LabeledGraph.from_edges("CO", [(0, 1)])
+        entries = [
+            CacheEntry(0, g, QueryType.SUBGRAPH, BitSet(), BitSet(), 0),
+            CacheEntry(1, g, QueryType.SUBGRAPH, BitSet(), BitSet(), 50),
+        ]
+        victims = LRUPolicy().select_victims(entries, stats, capacity=1)
+        assert [v.entry_id for v in victims] == [0]

@@ -1,0 +1,216 @@
+"""ParallelMethodM: chunked verification must be output-identical to the
+sequential Mverifier for every worker count, and ``workers`` must wire
+through config, service, runner and CLI."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import GCConfig, GraphCacheService
+from repro.cache.entry import QueryType
+from repro.dataset.store import GraphStore
+from repro.graphs.graph import LabeledGraph
+from repro.matching import make_matcher
+from repro.runtime.method_m import (
+    MethodM,
+    MethodMRunner,
+    ParallelMethodM,
+    make_method_m,
+)
+from repro.util.bitset import BitSet
+
+
+def random_graph(rng: random.Random, max_vertices: int = 8) -> LabeledGraph:
+    n = rng.randint(1, max_vertices)
+    g = LabeledGraph()
+    for _ in range(n):
+        g.add_vertex(rng.choice("CNO"))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < 0.4:
+                g.add_edge(u, v)
+    return g
+
+
+@pytest.fixture
+def store(rng) -> GraphStore:
+    return GraphStore.from_graphs([random_graph(rng) for _ in range(30)])
+
+
+class TestParallelVerify:
+    @pytest.mark.parametrize("workers", [2, 3, 7])
+    @pytest.mark.parametrize("query_type",
+                             [QueryType.SUBGRAPH, QueryType.SUPERGRAPH])
+    def test_identical_to_sequential(self, store, rng, workers, query_type):
+        sequential = MethodM(make_matcher("vf2+"), store)
+        parallel = ParallelMethodM(make_matcher("vf2+"), store, workers)
+        for _ in range(5):
+            query = random_graph(rng, max_vertices=4)
+            candidates = store.ids_bitset()
+            seq_answer, seq_tests = sequential.verify(
+                query, candidates, query_type)
+            par_answer, par_tests = parallel.verify(
+                query, candidates, query_type)
+            assert par_answer == seq_answer
+            assert par_tests == seq_tests
+        parallel.close()
+
+    def test_dead_ids_skipped(self, store, rng):
+        for gid in (3, 4, 5):
+            store.delete_graph(gid)
+        parallel = ParallelMethodM(make_matcher("vf2+"), store, 4)
+        sequential = MethodM(make_matcher("vf2+"), store)
+        query = random_graph(rng, max_vertices=3)
+        # A candidate set that still names the dead ids.
+        candidates = BitSet.from_indices(range(30))
+        seq = sequential.verify(query, candidates, QueryType.SUBGRAPH)
+        par = parallel.verify(query, candidates, QueryType.SUBGRAPH)
+        assert par == seq
+        assert par[1] == 27  # dead ids cost no tests
+        parallel.close()
+
+    def test_workers_one_is_sequential_class(self, store):
+        assert type(make_method_m(make_matcher("vf2+"), store, 1)) is MethodM
+        assert isinstance(make_method_m(make_matcher("vf2+"), store, 2),
+                          ParallelMethodM)
+
+    def test_invalid_worker_count(self, store):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelMethodM(make_matcher("vf2+"), store, 0)
+
+    def test_uncloneable_matcher_degrades_to_sequential(self, store, rng):
+        """A matcher no factory can faithfully clone must never be
+        shared across threads — verification runs sequentially."""
+        from repro.matching.graphql import GraphQLMatcher
+
+        custom = GraphQLMatcher(profile_radius=2)
+        parallel = ParallelMethodM(custom, store, 4,
+                                   matcher_factory=None)
+        reference = MethodM(GraphQLMatcher(profile_radius=2), store)
+        query = random_graph(rng, max_vertices=3)
+        candidates = store.ids_bitset()
+        assert parallel.verify(query, candidates, QueryType.SUBGRAPH) \
+            == reference.verify(query, candidates, QueryType.SUBGRAPH)
+        assert parallel._clones is None  # pool never engaged
+        assert parallel._executor is None
+        parallel.close()
+
+    def test_make_method_m_rejects_cloning_custom_config(self, store):
+        from repro.matching.graphql import GraphQLMatcher
+
+        verifier = make_method_m(GraphQLMatcher(profile_radius=2),
+                                 store, workers=3)
+        assert isinstance(verifier, ParallelMethodM)
+        assert verifier._factory is None  # non-default config: no clones
+        default = make_method_m(GraphQLMatcher(), store, workers=3)
+        assert default._factory is not None
+
+    def test_clone_stats_fold_into_primary(self, store, rng):
+        parallel = ParallelMethodM(make_matcher("vf2+"), store, 3)
+        query = random_graph(rng, max_vertices=3)
+        _, tests = parallel.verify(query, store.ids_bitset(),
+                                   QueryType.SUBGRAPH)
+        assert parallel.matcher.stats.tests == tests
+        parallel.close()
+
+    def test_close_is_idempotent(self, store):
+        parallel = ParallelMethodM(make_matcher("vf2+"), store, 2)
+        parallel.close()
+        parallel.close()
+        MethodM(make_matcher("vf2+"), store).close()  # no-op
+
+
+class TestConfigAndServiceWiring:
+    def test_config_validates_workers(self):
+        assert GCConfig(workers=4).workers == 4
+        with pytest.raises(ValueError, match="workers"):
+            GCConfig(workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            GCConfig(workers=-1)
+
+    def test_config_round_trips_workers(self):
+        config = GCConfig(workers=3)
+        assert config.to_dict()["workers"] == 3
+        assert GCConfig.from_dict(config.to_dict()).workers == 3
+
+    def test_service_output_bit_identical_across_worker_counts(self, rng):
+        """The acceptance bar: a workers>1 session produces the same
+        answers, test counts and cache trajectory as workers=1."""
+        graphs = [random_graph(rng) for _ in range(25)]
+        queries = [random_graph(rng, max_vertices=4) for _ in range(30)]
+
+        def run(workers: int):
+            store = GraphStore.from_graphs(graphs)
+            config = GCConfig(cache_capacity=8, window_capacity=3,
+                              workers=workers)
+            with GraphCacheService(store, config) as service:
+                out = []
+                for i, q in enumerate(queries):
+                    if i == 10:
+                        service.add_graph(random_graph(random.Random(99)))
+                    if i == 20:
+                        service.delete_graph(2)
+                    r = service.execute(q)
+                    out.append((frozenset(r.answer), r.metrics.method_tests,
+                                r.metrics.pruned_candidate_size))
+                return out, service.cache.admissions, service.cache.evictions
+
+        seq_out = run(1)
+        for workers in (2, 5):
+            assert run(workers) == seq_out
+
+    def test_service_uses_parallel_verifier(self):
+        store = GraphStore.from_graphs(
+            [LabeledGraph.from_edges("CO", [(0, 1)])])
+        with GraphCacheService(store, GCConfig(workers=2)) as service:
+            assert isinstance(service.method_m, ParallelMethodM)
+            assert service.method_m.workers == 2
+        # close() shut the pool down.
+        assert service.method_m._executor is None
+
+    def test_runner_accepts_workers(self, store, rng):
+        query = random_graph(rng, max_vertices=3)
+        base = MethodMRunner(store, make_matcher("vf2+"))
+        par = MethodMRunner(store, make_matcher("vf2+"), workers=3)
+        assert (frozenset(base.execute(query).answer)
+                == frozenset(par.execute(query).answer))
+
+
+class TestCLIWorkers:
+    def test_run_accepts_workers_flag(self, tmp_path, capsys):
+        from repro import cli
+        from repro.graphs import io as graph_io
+
+        rng = random.Random(5)
+        dataset = tmp_path / "d.tve"
+        workload = tmp_path / "q.tve"
+        graph_io.dump_file(
+            dataset,
+            list(enumerate(random_graph(rng) for _ in range(12))),
+        )
+        graph_io.dump_file(
+            workload,
+            list(enumerate(random_graph(rng, 3) for _ in range(5))),
+        )
+        rc = cli.main([
+            "run", "--dataset", str(dataset), "--workload", str(workload),
+            "--model", "CON", "--workers", "2",
+        ])
+        assert rc == 0
+        assert "run:" in capsys.readouterr().out
+
+    def test_run_rejects_bad_workers(self, tmp_path, capsys):
+        from repro import cli
+        from repro.graphs import io as graph_io
+
+        dataset = tmp_path / "d.tve"
+        graph_io.dump_file(
+            dataset, [(0, LabeledGraph.from_edges("CO", [(0, 1)]))])
+        rc = cli.main([
+            "run", "--dataset", str(dataset), "--workload", str(dataset),
+            "--workers", "0",
+        ])
+        assert rc == 2
+        assert "workers" in capsys.readouterr().err
