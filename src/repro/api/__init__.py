@@ -7,7 +7,10 @@ Three pieces compose the surface callers should program against:
   wiring, ``replace`` for overrides);
 * :class:`GraphCacheService` — the session facade: ``execute``,
   batch-amortised ``execute_many``, read-only ``explain``, event hooks,
-  and dataset mutation passthroughs;
+  dataset mutation passthroughs, and — via
+  :meth:`GraphCacheService.session` — up to ``GCConfig.max_sessions``
+  concurrent :class:`ServiceSession` handles sharing one cache behind a
+  reader-writer lock (see ``docs/concurrency.md``);
 * :class:`QueryPlan` / :class:`PlanStep` — structured explain receipts;
   :class:`CacheEvent` / :class:`CacheEventKind` — hook payloads.
 
@@ -18,11 +21,12 @@ deprecated shim over :class:`GraphCacheService`.
 from repro.api.config import GCConfig
 from repro.api.events import CacheEvent, CacheEventKind
 from repro.api.plan import PlanStep, QueryPlan
-from repro.api.service import GraphCacheService
+from repro.api.service import GraphCacheService, ServiceSession
 
 __all__ = [
     "GCConfig",
     "GraphCacheService",
+    "ServiceSession",
     "QueryPlan",
     "PlanStep",
     "CacheEvent",

@@ -30,7 +30,11 @@ from repro.cache.models import CacheModel
 from repro.cache.replacement import POLICIES
 from repro.matching import MATCHERS
 
-__all__ = ["GCConfig", "DEFAULT_CACHE_CAPACITY", "DEFAULT_WINDOW_CAPACITY"]
+__all__ = ["GCConfig", "DEFAULT_CACHE_CAPACITY", "DEFAULT_WINDOW_CAPACITY",
+           "LOCK_MODES"]
+
+#: Valid ``GCConfig.lock_mode`` values (see the field's doc).
+LOCK_MODES = frozenset({"auto", "none", "rw"})
 
 
 def _coerce_model(value: CacheModel | str) -> CacheModel:
@@ -99,6 +103,17 @@ class GCConfig:
     #: tradeoff).  Pure performance knob; never affects reproduction
     #: fidelity.
     workers: int = 1
+    #: Cache-subsystem locking: ``"none"`` (no locks — single-session
+    #: only), ``"rw"`` (reader-writer lock from construction), or
+    #: ``"auto"`` (the default: lock-free until the first
+    #: ``GraphCacheService.session()`` call upgrades to the RW lock at
+    #: that quiescent point).  Like ``workers``, a pure
+    #: performance/serving knob: answers are identical in every mode.
+    lock_mode: str = "auto"
+    #: Maximum concurrently *open* sessions sharing one service's cache
+    #: (the root service does not count).  Bounds the worker fan-out a
+    #: serving deployment can put behind one cache.
+    max_sessions: int = 8
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "model", _coerce_model(self.model))
@@ -125,8 +140,15 @@ class GCConfig:
                 f"{sorted(POLICIES)}"
             )
         object.__setattr__(self, "policy", self.policy.lower())
+        if (not isinstance(self.lock_mode, str)
+                or self.lock_mode.lower() not in LOCK_MODES):
+            raise ValueError(
+                f"unknown lock_mode {self.lock_mode!r}; choose from "
+                f"{sorted(LOCK_MODES)}"
+            )
+        object.__setattr__(self, "lock_mode", self.lock_mode.lower())
         for name in ("cache_capacity", "window_capacity", "retro_budget",
-                     "workers"):
+                     "workers", "max_sessions"):
             _require_int(name, getattr(self, name))
         if self.cache_capacity <= 0:
             raise ValueError(
@@ -145,6 +167,10 @@ class GCConfig:
             raise ValueError(
                 f"workers must be >= 1, got {self.workers} "
                 f"(1 is the sequential Mverifier)"
+            )
+        if self.max_sessions < 1:
+            raise ValueError(
+                f"max_sessions must be >= 1, got {self.max_sessions}"
             )
 
     # ------------------------------------------------------------------
@@ -183,4 +209,6 @@ class GCConfig:
             "caching_enabled": self.caching_enabled,
             "retro_budget": self.retro_budget,
             "workers": self.workers,
+            "lock_mode": self.lock_mode,
+            "max_sessions": self.max_sessions,
         }

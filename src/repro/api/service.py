@@ -24,21 +24,28 @@ old ``GraphCachePlus`` constructor lacked:
   ``on_promotion``) so ops code stops reaching into private fields;
 * a mutation API (``apply``, ``add_graph``, ...) so callers never juggle
   the :class:`GraphStore` and the cache separately;
-* context-manager semantics for session scoping.
+* context-manager semantics for session scoping;
+* **concurrent serving**: :meth:`GraphCacheService.session` hands out
+  up to ``GCConfig.max_sessions`` lightweight :class:`ServiceSession`
+  handles that share one cache, one dataset and one reader-writer lock,
+  so N worker threads can serve a query stream against a single shared
+  cache (the paper's Figure 1 deployment).  Hit discovery, pruning and
+  Mverification run under the shared read lock; consistency passes,
+  admissions/evictions, benefit crediting and dataset mutations take
+  the write lock.  See ``docs/concurrency.md`` for the full boundary
+  map and the answer-equivalence guarantee.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Iterable
+from contextlib import contextmanager
 
 from repro.api.config import GCConfig
 from repro.api.events import CacheEvent, CacheEventKind
 from repro.api.plan import PlanStep, QueryPlan
-from repro.cache.manager import (
-    NOOP_CONSISTENCY,
-    CacheManager,
-    ConsistencyReport,
-)
+from repro.cache.manager import CacheManager, ConsistencyReport
 from repro.dataset.change_plan import AppliedOp, ChangePlan
 from repro.dataset.store import GraphStore
 from repro.graphs.features import GraphFeatures
@@ -50,9 +57,10 @@ from repro.runtime.monitor import QueryMetrics, QueryResult, StatisticsMonitor
 from repro.runtime.processors import HitDiscovery
 from repro.runtime.pruner import prune_candidate_set
 from repro.util.bitset import BitSet
+from repro.util.rwlock import NullRWLock, RWLock
 from repro.util.timing import Stopwatch
 
-__all__ = ["GraphCacheService"]
+__all__ = ["GraphCacheService", "ServiceSession"]
 
 EventHook = Callable[[CacheEvent], None]
 
@@ -123,6 +131,19 @@ class GraphCacheService:
         }
         # The cache's event listener is attached lazily by the first
         # hook registration, so hook-free sessions pay no event cost.
+        # --- Concurrent serving state ---------------------------------
+        # Stream-position allocation must be atomic across sessions.
+        self._counter_lock = threading.Lock()
+        # Open ServiceSession handles sharing this service's cache.
+        self._session_guard = threading.Lock()
+        self._sessions: list["ServiceSession"] = []
+        self._next_session_id = 0
+        # Per-thread cache-event deferral: events emitted inside a
+        # locked pipeline section are buffered and the hooks run only
+        # after every lock is released, so user hooks can freely call
+        # back into the service (execute, purge, mutations) without
+        # deadlocking or running under the cache's write lock.
+        self._events_local = threading.local()
 
     @staticmethod
     def _sync_name(config: GCConfig, field: str,
@@ -144,8 +165,13 @@ class GraphCacheService:
 
     def close(self) -> None:
         """End the session: detach hooks, release the Mverifier worker
-        pool (if any); further queries raise."""
+        pool (if any), close any open shared-cache sessions; further
+        queries raise."""
         self._closed = True
+        with self._session_guard:
+            sessions, self._sessions = self._sessions, []
+        for session in sessions:
+            session._closed = True
         self.method_m.close()
         self.cache.event_listener = None
         for hooks in self._hooks.values():
@@ -160,11 +186,87 @@ class GraphCacheService:
             raise RuntimeError("GraphCacheService session is closed")
 
     # ------------------------------------------------------------------
+    # Shared-cache sessions
+    # ------------------------------------------------------------------
+    def session(self) -> "ServiceSession":
+        """Open a :class:`ServiceSession` sharing this service's cache.
+
+        Sessions are the unit of concurrent serving: each worker thread
+        holds one, all of them execute against the same cache, dataset
+        and statistics, and the cache's reader-writer lock keeps their
+        pipelines safe (read phases overlap; mutations serialise).
+
+        Under ``lock_mode="auto"`` the first call swaps the no-op lock
+        for a real :class:`~repro.util.rwlock.RWLock`; open sessions
+        **before** issuing concurrent queries so the swap happens at a
+        quiescent point.  ``lock_mode="none"`` refuses sessions outright.
+        At most ``GCConfig.max_sessions`` sessions may be open at once;
+        closing one (it is a context manager) frees its slot.
+        """
+        self._check_open()
+        with self._session_guard:
+            if self.config.lock_mode == "none":
+                raise RuntimeError(
+                    "lock_mode='none' is single-session only; construct "
+                    "the service with lock_mode='auto' or 'rw' to share "
+                    "its cache across sessions"
+                )
+            if isinstance(self.cache.lock, NullRWLock):
+                # lock_mode="auto": upgrade at this (quiescent) point.
+                self.cache.lock = RWLock()
+            self._sessions = [s for s in self._sessions if not s.closed]
+            if len(self._sessions) >= self.config.max_sessions:
+                raise RuntimeError(
+                    f"max_sessions={self.config.max_sessions} sessions "
+                    f"already open; close one first (or raise "
+                    f"GCConfig.max_sessions)"
+                )
+            session = ServiceSession(self, self._next_session_id)
+            self._next_session_id += 1
+            self._sessions.append(session)
+            return session
+
+    @property
+    def open_sessions(self) -> int:
+        """How many shared-cache sessions are currently open."""
+        with self._session_guard:
+            self._sessions = [s for s in self._sessions if not s.closed]
+            return len(self._sessions)
+
+    # ------------------------------------------------------------------
     # Event hooks
     # ------------------------------------------------------------------
     def _dispatch_event(self, event: CacheEvent) -> None:
+        """Cache-event sink.  Inside a locked pipeline section (depth >
+        0) events are buffered; :meth:`_event_scope` runs the hooks once
+        every lock has been released.  Outside any scope — e.g. code
+        driving the :class:`CacheManager` directly — hooks run inline,
+        the historical behaviour."""
+        state = self._events_local
+        if getattr(state, "depth", 0) > 0:
+            state.buffer.append(event)
+            return
         for hook in self._hooks[event.kind]:
             hook(event)
+
+    @contextmanager
+    def _event_scope(self):
+        """Defer cache-event hooks until the outermost scope exits (and
+        therefore until the cache lock is released)."""
+        state = self._events_local
+        if getattr(state, "depth", 0) == 0:
+            state.depth = 0
+            state.buffer = []
+        state.depth += 1
+        try:
+            yield
+        finally:
+            state.depth -= 1
+            if state.depth == 0:
+                buffered, state.buffer = state.buffer, []
+                for event in buffered:
+                    for hook in self._hooks[event.kind]:
+                        hook(event)
 
     def _register(self, kind: CacheEventKind, hook: EventHook) -> EventHook:
         self._check_open()
@@ -197,8 +299,7 @@ class GraphCacheService:
     def execute(self, query: LabeledGraph) -> QueryResult:
         """Answer one graph-pattern query, maintaining the cache."""
         self._check_open()
-        report = self.cache.ensure_consistency(self.store)
-        return self._execute_one(query, report)
+        return self._execute_pipeline(query)
 
     def execute_many(self, queries: Iterable[LabeledGraph]) -> list[QueryResult]:
         """Answer a batch of queries with **one** consistency pass.
@@ -211,91 +312,135 @@ class GraphCacheService:
         batching never trades away answer correctness.
         """
         self._check_open()
-        results: list[QueryResult] = []
-        first = True
-        for query in queries:
-            if first or self.cache.pending_log_records(self.store):
-                report = self.cache.ensure_consistency(self.store)
-            else:
-                report = NOOP_CONSISTENCY
-            first = False
-            results.append(self._execute_one(query, report))
-        return results
+        return [self._execute_pipeline(query) for query in queries]
 
-    def _execute_one(self, query: LabeledGraph,
-                     report: ConsistencyReport) -> QueryResult:
-        query_index = self._query_counter
-        self._query_counter += 1
+    def _execute_pipeline(self, query: LabeledGraph,
+                          session_monitor: StatisticsMonitor | None = None,
+                          ) -> QueryResult:
+        """The full Figure-1 per-query flow, concurrency-safe.
+
+        Lock discipline (``docs/concurrency.md`` has the rationale):
+
+        * step 1 (consistency) is write-side, inside
+          :meth:`CacheManager.ensure_consistency`; the loop re-checks
+          under the read lock because another session's mutation may
+          land between our reconcile and our read acquisition;
+        * steps 2-4 (discovery → pruning → Mverify) run under the
+          shared **read** lock: the dataset and every cache entry are
+          frozen while any query is mid-read-phase, so the answer is
+          computed against one consistent dataset state;
+        * step 5 (crediting + admission) re-acquires the **write** lock.
+          If the dataset log moved in the unavoidable gap between the
+          read and write phases, the admission is *skipped*
+          (``metrics.admission_skipped``): the computed answer belongs
+          to a superseded dataset state, and caching is an optimisation
+          GC+ may always decline — answers are never affected.
+        """
+        with self._counter_lock:
+            query_index = self._query_counter
+            self._query_counter += 1
         metrics = QueryMetrics()
+        lock = self.cache.lock
 
-        # (1) Consistency: already reconciled by the caller; book the cost.
-        metrics.analyze_seconds = report.analyze_seconds
-        metrics.validate_seconds = report.validate_seconds
-        metrics.purge_seconds = report.purge_seconds
+        with self._event_scope():
+            # (1) Consistency: reconcile (write-side), then enter the
+            # read phase; loop until the cache is current *while we hold
+            # the read lock* so steps 2-4 see one reconciled snapshot.
+            # Component times accumulate across passes — under
+            # contention the loop can reconcile more than once, and
+            # every pass belongs on this query's overhead breakdown.
+            while True:
+                if self.cache.pending_log_records(self.store):
+                    report = self.cache.ensure_consistency(self.store)
+                    metrics.analyze_seconds += report.analyze_seconds
+                    metrics.validate_seconds += report.validate_seconds
+                    metrics.purge_seconds += report.purge_seconds
+                lock.acquire_read()
+                if self.cache.pending_log_records(self.store) == 0:
+                    break
+                lock.release_read()
+            try:
+                log_seq = self.store.log.last_seq
 
-        cs_m = self.store.ids_bitset()
-        metrics.candidate_size = cs_m.cardinality()
-        universe = self.store.max_id + 1
+                cs_m = self.store.ids_bitset()
+                metrics.candidate_size = cs_m.cardinality()
+                universe = self.store.max_id + 1
 
-        # (2) Hit discovery (GC+sub / GC+super processors).  The query's
-        # features are computed exactly once here and flow to discovery
-        # and (below) to cache admission.
-        discovery_sw = Stopwatch()
-        with discovery_sw:
-            features = GraphFeatures.of(query)
-            hits = self.discovery.discover(query, self.cache.index, features)
-        metrics.discovery_seconds = discovery_sw.elapsed
-        metrics.containing_hits = len(hits.containing)
-        metrics.contained_hits = len(hits.contained)
-        metrics.exact_hits = len(hits.exact)
-        metrics.internal_tests = hits.internal_tests
+                # (2) Hit discovery (GC+sub / GC+super processors).  The
+                # query's features are computed exactly once here and
+                # flow to discovery and (below) to cache admission.
+                discovery_sw = Stopwatch()
+                with discovery_sw:
+                    features = GraphFeatures.of(query)
+                    hits = self.discovery.discover(query, self.cache.index,
+                                                   features)
+                metrics.discovery_seconds = discovery_sw.elapsed
+                metrics.containing_hits = len(hits.containing)
+                metrics.contained_hits = len(hits.contained)
+                metrics.exact_hits = len(hits.exact)
+                metrics.internal_tests = hits.internal_tests
 
-        # (3) Candidate set pruning (formulas (1)-(5)).  For an SI
-        # Method M, CS_M is the whole live dataset, which is exactly the
-        # id set the §6.3 optimal-case checks must test validity against.
-        prune_sw = Stopwatch()
-        with prune_sw:
-            outcome = prune_candidate_set(self.query_type, cs_m, hits,
-                                          universe, live_ids=cs_m)
-        metrics.prune_seconds = prune_sw.elapsed
-        metrics.exact_hit_valid = outcome.exact_hit
-        metrics.empty_shortcut = outcome.empty_shortcut
+                # (3) Candidate set pruning (formulas (1)-(5)).  For an
+                # SI Method M, CS_M is the whole live dataset, which is
+                # exactly the id set the §6.3 optimal-case checks must
+                # test validity against.
+                prune_sw = Stopwatch()
+                with prune_sw:
+                    outcome = prune_candidate_set(self.query_type, cs_m,
+                                                  hits, universe,
+                                                  live_ids=cs_m)
+                metrics.prune_seconds = prune_sw.elapsed
+                metrics.exact_hit_valid = outcome.exact_hit
+                metrics.empty_shortcut = outcome.empty_shortcut
 
-        # (4) Method-M verification of the reduced candidate set.
-        verify_sw = Stopwatch()
-        with verify_sw:
-            verified, tests = self.method_m.verify(
-                query, outcome.candidates, self.query_type
-            )
-            answer = verified | outcome.answer_free
-        metrics.verify_seconds = verify_sw.elapsed
-        metrics.method_tests = tests
-        metrics.pruned_candidate_size = outcome.candidates.cardinality()
-        metrics.tests_saved = metrics.candidate_size - tests
-        metrics.answer_size = answer.cardinality()
+                # (4) Method-M verification of the reduced candidate set.
+                verify_sw = Stopwatch()
+                with verify_sw:
+                    verified, tests = self.method_m.verify(
+                        query, outcome.candidates, self.query_type
+                    )
+                    answer = verified | outcome.answer_free
+                metrics.verify_seconds = verify_sw.elapsed
+                metrics.method_tests = tests
+                metrics.pruned_candidate_size = outcome.candidates.cardinality()
+                metrics.tests_saved = metrics.candidate_size - tests
+                metrics.answer_size = answer.cardinality()
+            finally:
+                lock.release_read()
 
-        # (5) Feed back to the Cache Manager: benefit credits + admission.
-        admission_sw = Stopwatch()
-        with admission_sw:
-            self._credit_contributions(query, outcome.contributions,
-                                       query_index)
-            if self.caching_enabled:
-                self.cache.admit(query, answer, self.store, query_index,
-                                 features=features)
-        metrics.admission_seconds = admission_sw.elapsed
+            # (5) Feed back to the Cache Manager: benefit credits +
+            # admission — write-side.  Skipped wholesale if the dataset
+            # moved past the read phase's snapshot (see docstring).
+            admission_sw = Stopwatch()
+            with admission_sw:
+                with lock.write():
+                    if self.store.log.last_seq == log_seq:
+                        self._credit_contributions(
+                            query, outcome.contributions, query_index
+                        )
+                        if self.caching_enabled:
+                            self.cache.admit(query, answer, self.store,
+                                             query_index, features=features)
+                    else:
+                        metrics.admission_skipped = True
+            metrics.admission_seconds = admission_sw.elapsed
 
-        # (6, extension) Retrospective revalidation, off the critical path.
-        if self.revalidator is not None and self.caching_enabled:
-            retro_sw = Stopwatch()
-            with retro_sw:
-                retro = self.revalidator.run_round(
-                    self.cache, self.store, self.method_m.matcher
-                )
-            metrics.retro_seconds = retro_sw.elapsed
-            metrics.retro_tests = retro.tests_spent
+            # (6, extension) Retrospective revalidation, off the
+            # critical path.  Mutates entry validity bits → write-side.
+            if self.revalidator is not None and self.caching_enabled:
+                retro_sw = Stopwatch()
+                with retro_sw:
+                    with lock.write():
+                        retro = self.revalidator.run_round(
+                            self.cache, self.store, self.method_m.matcher
+                        )
+                metrics.retro_seconds = retro_sw.elapsed
+                metrics.retro_tests = retro.tests_spent
 
-        self.monitor.record(metrics)
-        return QueryResult(answer=answer, metrics=metrics)
+            self.monitor.record(metrics)
+            if session_monitor is not None:
+                session_monitor.record(metrics)
+            return QueryResult(answer=answer, metrics=metrics)
 
     def _credit_contributions(self, query: LabeledGraph,
                               contributions: dict[int, BitSet],
@@ -329,11 +474,12 @@ class GraphCacheService:
         the plan instead of being reconciled.
         """
         self._check_open()
-        features = GraphFeatures.of(query)
-        hits = self.discovery.discover(query, self.cache.index, features)
-        cs_m = self.store.ids_bitset()
-        outcome = prune_candidate_set(self.query_type, cs_m, hits,
-                                      self.store.max_id + 1, live_ids=cs_m)
+        with self.cache.lock.read():
+            features = GraphFeatures.of(query)
+            hits = self.discovery.discover(query, self.cache.index, features)
+            cs_m = self.store.ids_bitset()
+            outcome = prune_candidate_set(self.query_type, cs_m, hits,
+                                          self.store.max_id + 1, live_ids=cs_m)
         # Zero-effect applications (e.g. a hit whose CGvalid bits all
         # faded) are real discoveries but contributed nothing — they stay
         # visible in the hit lists, not as formula steps.
@@ -367,35 +513,46 @@ class GraphCacheService:
     # ------------------------------------------------------------------
     def apply(self, plan: ChangePlan, query_index: int) -> list[AppliedOp]:
         """Fire every due batch of a :class:`ChangePlan` at this stream
-        position; the next query (or batch) reconciles the cache."""
+        position; the next query (or batch) reconciles the cache.
+
+        Like every mutation below, the application takes the cache's
+        write lock: in concurrent serving it serialises after in-flight
+        read phases, so no query ever observes a half-applied batch.
+        """
         self._check_open()
-        return plan.apply_due(self.store, query_index)
+        with self.cache.lock.write():
+            return plan.apply_due(self.store, query_index)
 
     def add_graph(self, graph: LabeledGraph) -> int:
         """ADD a dataset graph; returns its new id."""
         self._check_open()
-        return self.store.add_graph(graph)
+        with self.cache.lock.write():
+            return self.store.add_graph(graph)
 
     def delete_graph(self, graph_id: int) -> None:
         """DEL a dataset graph (its id is never reused)."""
         self._check_open()
-        self.store.delete_graph(graph_id)
+        with self.cache.lock.write():
+            self.store.delete_graph(graph_id)
 
     def add_edge(self, graph_id: int, u: int, v: int) -> None:
         """UA: add an edge to a dataset graph."""
         self._check_open()
-        self.store.add_edge(graph_id, u, v)
+        with self.cache.lock.write():
+            self.store.add_edge(graph_id, u, v)
 
     def remove_edge(self, graph_id: int, u: int, v: int) -> None:
         """UR: remove an edge from a dataset graph."""
         self._check_open()
-        self.store.remove_edge(graph_id, u, v)
+        with self.cache.lock.write():
+            self.store.remove_edge(graph_id, u, v)
 
     def refresh(self) -> ConsistencyReport:
         """Run the consistency protocol now (normally it runs lazily on
         the next query); useful before inspecting cache entries."""
         self._check_open()
-        return self.cache.ensure_consistency(self.store)
+        with self._event_scope():
+            return self.cache.ensure_consistency(self.store)
 
     def purge(self) -> None:
         """Manually drop every cached entry (cache + window).
@@ -403,10 +560,11 @@ class GraphCacheService:
         The purge counts as having reflected all dataset changes logged
         so far — an empty cache is consistent with any dataset state —
         so the next query does **not** run a spurious consistency pass.
-        Fires the ``on_purge`` hook.
+        Fires the ``on_purge`` hook (after the cache lock is released).
         """
         self._check_open()
-        self.cache.clear(self.store)
+        with self._event_scope():
+            self.cache.clear(self.store)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -430,3 +588,125 @@ class GraphCacheService:
             f"method={self.matcher.name}, type={self.query_type}, "
             f"queries={self._query_counter}, {state})"
         )
+
+
+class ServiceSession:
+    """One worker's handle onto a shared :class:`GraphCacheService`.
+
+    Obtained via :meth:`GraphCacheService.session`.  All sessions of a
+    service execute against the **same** cache, dataset, statistics and
+    hook registry; the cache's reader-writer lock keeps concurrent
+    pipelines safe.  On top of the shared state each session keeps a
+    private :class:`StatisticsMonitor`, so per-worker latency/hit
+    anatomy can be reported next to the service-wide aggregate.
+
+    Sessions are context managers; closing one frees its
+    ``max_sessions`` slot.  Closing the parent service closes every
+    session.
+
+    >>> from repro.api import GCConfig, GraphCacheService
+    >>> from repro.dataset.store import GraphStore
+    >>> from repro.graphs.graph import LabeledGraph
+    >>> store = GraphStore.from_graphs(
+    ...     [LabeledGraph.from_edges("CCO", [(0, 1), (1, 2)])])
+    >>> service = GraphCacheService(store, GCConfig(model="CON"))
+    >>> with service.session() as session:
+    ...     result = session.execute(LabeledGraph.from_edges("CO", [(0, 1)]))
+    >>> sorted(result.answer_ids)
+    [0]
+    >>> service.close()
+    """
+
+    def __init__(self, parent: GraphCacheService, session_id: int) -> None:
+        self._parent = parent
+        self.session_id = session_id
+        self.monitor = StatisticsMonitor()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServiceSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release this session's ``max_sessions`` slot; further queries
+        through it raise.  The shared cache is untouched."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed or self._parent.closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ServiceSession is closed")
+        self._parent._check_open()
+
+    # ------------------------------------------------------------------
+    # Query execution (shared pipeline, per-session metrics)
+    # ------------------------------------------------------------------
+    def execute(self, query: LabeledGraph) -> QueryResult:
+        """Answer one query through the shared cache."""
+        self._check_open()
+        return self._parent._execute_pipeline(query,
+                                              session_monitor=self.monitor)
+
+    def execute_many(self, queries: Iterable[LabeledGraph]) -> list[QueryResult]:
+        """Answer a batch of queries through the shared cache."""
+        return [self.execute(query) for query in queries]
+
+    def explain(self, query: LabeledGraph) -> QueryPlan:
+        """Read-only :class:`QueryPlan` against the shared cache."""
+        self._check_open()
+        return self._parent.explain(query)
+
+    # ------------------------------------------------------------------
+    # Mutations (delegate to the parent, which takes the write lock)
+    # ------------------------------------------------------------------
+    def apply(self, plan: ChangePlan, query_index: int) -> list[AppliedOp]:
+        self._check_open()
+        return self._parent.apply(plan, query_index)
+
+    def add_graph(self, graph: LabeledGraph) -> int:
+        self._check_open()
+        return self._parent.add_graph(graph)
+
+    def delete_graph(self, graph_id: int) -> None:
+        self._check_open()
+        self._parent.delete_graph(graph_id)
+
+    def add_edge(self, graph_id: int, u: int, v: int) -> None:
+        self._check_open()
+        self._parent.add_edge(graph_id, u, v)
+
+    def remove_edge(self, graph_id: int, u: int, v: int) -> None:
+        self._check_open()
+        self._parent.remove_edge(graph_id, u, v)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> GraphCacheService:
+        """The shared parent service."""
+        return self._parent
+
+    @property
+    def queries_executed(self) -> int:
+        """Queries answered through *this* session."""
+        return self.monitor.queries
+
+    def summary(self) -> dict[str, float]:
+        """This session's private monitor aggregate (the parent's
+        :meth:`GraphCacheService.summary` covers all sessions)."""
+        return self.monitor.summary()
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return (f"ServiceSession(id={self.session_id}, "
+                f"queries={self.monitor.queries}, {state})")

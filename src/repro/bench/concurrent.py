@@ -1,0 +1,330 @@
+"""Concurrent workload driver — N threads, one shared cache.
+
+The paper's Figure 1 deployment is a *service*: one GC+ cache absorbing
+a stream of queries from many users while the dataset churns underneath.
+:class:`ConcurrentDriver` replays exactly that shape: a (query,
+mutation) trace is partitioned into **epochs** at the change plan's
+batch times, every epoch's queries are served concurrently by worker
+threads holding :class:`~repro.api.service.ServiceSession` handles, and
+each mutation batch is applied at the epoch barrier — a quiescent point
+where the driver also asserts the cache's structural invariants.
+
+Why epochs make concurrency *checkable*: within an epoch the dataset is
+frozen (mutations only happen at barriers), and a GC+ answer is a pure
+function of (query, dataset state) — the §6 correctness claim, which
+holds regardless of what the cache contains or how admissions
+interleave.  Every query therefore returns exactly the answer a
+sequential replay of the same trace produces at the same stream index —
+not merely the same multiset, though the multiset is what
+:func:`sequential_replay`-based tests usually assert.  The cache
+*contents* may differ between schedules (admission order is
+nondeterministic); the answers cannot.
+
+Throughput expectations (honesty note): the bundled matchers are pure
+Python, so under CPython's GIL the CPU-bound pipeline section does not
+speed up with threads — it serialises.  What the serving layer overlaps
+is everything *around* that section: per-request I/O, parsing, network
+latency.  ``io_delay`` models that per-request service time; with it the
+driver demonstrates the multi-threaded throughput win a real deployment
+sees (and a GIL-releasing matcher or free-threaded CPython would extend
+the win to the CPU section with zero changes here).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.api.config import GCConfig
+from repro.api.service import GraphCacheService
+from repro.dataset.change_plan import ChangePlan
+from repro.dataset.store import GraphStore
+from repro.graphs.graph import LabeledGraph
+
+__all__ = [
+    "ConcurrentDriver",
+    "ConcurrentRunResult",
+    "sequential_replay",
+    "assert_quiescent_invariants",
+]
+
+
+def assert_quiescent_invariants(service: GraphCacheService) -> None:
+    """Structural invariants that must hold at any quiescent point
+    (no query mid-pipeline): capacity bounds, index/entry population
+    agreement, statistics registered for every hit-eligible entry."""
+    cache = service.cache
+    assert cache.cache_size <= cache.capacity, (
+        f"cache overflow: {cache.cache_size} > capacity {cache.capacity}"
+    )
+    assert cache.window_size <= cache.window.capacity, (
+        f"window overflow: {cache.window_size} > "
+        f"capacity {cache.window.capacity}"
+    )
+    entries = cache.all_entries()
+    assert len(cache.index) == len(entries), (
+        f"index population {len(cache.index)} != "
+        f"cache∪window {len(entries)}"
+    )
+    for entry in entries:
+        assert entry.entry_id in cache.statistics, (
+            f"entry {entry.entry_id} is hit-eligible but untracked by "
+            f"the statistics manager"
+        )
+    cache.index.audit()
+
+
+@dataclass
+class ConcurrentRunResult:
+    """What one driver run measured.
+
+    ``answers`` maps stream index → answer id-set, so correctness
+    harnesses can compare per-index (stronger than the multiset check);
+    :meth:`answer_multiset` gives the order-insensitive view.
+    """
+
+    threads: int
+    queries: int
+    epochs: int
+    wall_seconds: float
+    latencies_ms: list[float] = field(repr=False)
+    answers: dict[int, frozenset[int]] = field(repr=False)
+    applied_ops: int = 0
+    admissions_skipped: int = 0
+
+    @property
+    def throughput_qps(self) -> float:
+        return self.queries / self.wall_seconds if self.wall_seconds else 0.0
+
+    def latency_percentile_ms(self, fraction: float) -> float:
+        """Nearest-rank percentile over per-query latencies (ms)."""
+        if not self.latencies_ms:
+            return 0.0
+        ordered = sorted(self.latencies_ms)
+        rank = min(int(fraction * (len(ordered) - 1) + 0.5),
+                   len(ordered) - 1)
+        return ordered[rank]
+
+    @property
+    def latency_p50_ms(self) -> float:
+        return self.latency_percentile_ms(0.50)
+
+    @property
+    def latency_p95_ms(self) -> float:
+        return self.latency_percentile_ms(0.95)
+
+    def answer_multiset(self) -> Counter:
+        """Multiset of answer id-sets — the concurrency oracle's unit of
+        comparison against a sequential replay."""
+        return Counter(self.answers.values())
+
+    def to_row(self) -> dict[str, float]:
+        """JSON-safe summary row (answers elided)."""
+        return {
+            "threads": self.threads,
+            "queries": self.queries,
+            "epochs": self.epochs,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "throughput_qps": round(self.throughput_qps, 3),
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "applied_ops": self.applied_ops,
+            "admissions_skipped": self.admissions_skipped,
+        }
+
+
+class ConcurrentDriver:
+    """Replay a (query, mutation) trace across ``threads`` workers.
+
+    ``service`` must allow sessions (``lock_mode`` ``"auto"`` or
+    ``"rw"``); the driver opens one :class:`ServiceSession` per worker,
+    so ``GCConfig.max_sessions`` must be ≥ ``threads``.  ``io_delay``
+    (seconds) emulates the per-request service time outside the GC+
+    pipeline — parsing, network, result serialisation — which threads
+    overlap; ``0.0`` measures the bare pipeline.
+
+    Worker scheduling is deterministic (query ``i`` of an epoch goes to
+    worker ``i mod threads``); the *interleaving* is of course up to the
+    OS, which is exactly what the answer-equivalence oracle exercises.
+    """
+
+    def __init__(self, service: GraphCacheService, threads: int,
+                 io_delay: float = 0.0) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if io_delay < 0:
+            raise ValueError(f"io_delay must be >= 0, got {io_delay}")
+        self.service = service
+        self.threads = threads
+        self.io_delay = io_delay
+
+    # ------------------------------------------------------------------
+    def run(self, queries: Sequence[LabeledGraph],
+            plan: ChangePlan | None = None,
+            check_invariants: bool = True) -> ConcurrentRunResult:
+        """Serve the whole stream; returns measurements + answers.
+
+        Mutation batches fire at epoch barriers with all workers
+        quiesced, at the same stream indices a sequential
+        ``plan.apply_due(store, i)`` loop fires them, so the dataset
+        evolution — and therefore every answer — matches a sequential
+        replay of the identical trace.  With ``check_invariants`` the
+        driver asserts :func:`assert_quiescent_invariants` at every
+        barrier.
+        """
+        service = self.service
+        if plan is not None:
+            plan.reset()
+        segments = self._segments(len(queries), plan)
+        sessions = [service.session() for _ in range(self.threads)]
+        start_barrier = threading.Barrier(self.threads + 1)
+        end_barrier = threading.Barrier(self.threads + 1)
+        current: dict = {"segment": None}
+        answers: dict[int, frozenset[int]] = {}
+        answers_lock = threading.Lock()
+        latencies: list[list[float]] = [[] for _ in range(self.threads)]
+        failures: list[BaseException] = []
+        skipped_before = service.monitor.admissions_skipped
+
+        def worker(wid: int) -> None:
+            session = sessions[wid]
+            mine = latencies[wid]
+            try:
+                while True:
+                    start_barrier.wait()
+                    segment = current["segment"]
+                    if segment is None:
+                        return
+                    lo, hi = segment
+                    for qi in range(lo + wid, hi, self.threads):
+                        t0 = time.perf_counter()
+                        result = session.execute(queries[qi])
+                        if self.io_delay:
+                            time.sleep(self.io_delay)
+                        elapsed = time.perf_counter() - t0
+                        mine.append(elapsed * 1000.0)
+                        with answers_lock:
+                            answers[qi] = frozenset(result.answer)
+                    end_barrier.wait()
+            except BaseException as exc:  # propagate to the main thread
+                failures.append(exc)
+                start_barrier.abort()
+                end_barrier.abort()
+
+        workers = [
+            threading.Thread(target=worker, args=(wid,),
+                             name=f"gc-driver-{wid}", daemon=True)
+            for wid in range(self.threads)
+        ]
+        for thread in workers:
+            thread.start()
+
+        applied = 0
+        wall_start = time.perf_counter()
+        try:
+            for lo, hi in segments:
+                if plan is not None:
+                    applied += len(service.apply(plan, lo))
+                current["segment"] = (lo, hi)
+                start_barrier.wait()
+                end_barrier.wait()
+                if check_invariants:
+                    assert_quiescent_invariants(service)
+            current["segment"] = None
+            start_barrier.wait()
+        except threading.BrokenBarrierError:
+            pass  # a worker failed; re-raised below
+        except BaseException:
+            # A main-thread failure (invariant assertion, plan error):
+            # break the barriers so parked workers exit immediately
+            # instead of each join below burning its full timeout.
+            start_barrier.abort()
+            end_barrier.abort()
+            raise
+        finally:
+            wall = time.perf_counter() - wall_start
+            for thread in workers:
+                thread.join(timeout=30.0)
+            for session in sessions:
+                session.close()
+        if failures:
+            raise failures[0]
+
+        return ConcurrentRunResult(
+            threads=self.threads,
+            queries=len(queries),
+            epochs=len(segments),
+            wall_seconds=wall,
+            latencies_ms=[ms for per_worker in latencies
+                          for ms in per_worker],
+            answers=answers,
+            applied_ops=applied,
+            admissions_skipped=(service.monitor.admissions_skipped
+                                - skipped_before),
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _segments(num_queries: int,
+                  plan: ChangePlan | None) -> list[tuple[int, int]]:
+        """Epoch boundaries: the change plan's batch times (each batch
+        fires *before* the query at its time index, exactly as
+        ``apply_due`` does in a sequential loop) plus the stream ends."""
+        cuts = {0, num_queries}
+        if plan is not None:
+            cuts.update(b.time for b in plan.batches
+                        if 0 <= b.time < num_queries)
+        ordered = sorted(cuts)
+        return [(ordered[i], ordered[i + 1])
+                for i in range(len(ordered) - 1)
+                if ordered[i] < ordered[i + 1]]
+
+
+def sequential_replay(graphs: Sequence[LabeledGraph],
+                      queries: Sequence[LabeledGraph],
+                      plan: ChangePlan | None = None,
+                      config: GCConfig | None = None,
+                      io_delay: float = 0.0) -> ConcurrentRunResult:
+    """The single-threaded oracle: a fresh store + service, the plan
+    applied at every stream index, queries answered one by one.
+
+    Deliberately a plain loop over ``service.execute`` — no sessions,
+    no barriers, no locks beyond the service defaults — so the
+    concurrency tests compare two genuinely different execution paths.
+    """
+    store = GraphStore.from_graphs(graphs)
+    if plan is not None:
+        plan.reset()
+    service = GraphCacheService(
+        store, config if config is not None else GCConfig()
+    )
+    answers: dict[int, frozenset[int]] = {}
+    latencies: list[float] = []
+    applied = 0
+    wall_start = time.perf_counter()
+    try:
+        for index, query in enumerate(queries):
+            if plan is not None:
+                applied += len(plan.apply_due(store, index))
+            t0 = time.perf_counter()
+            result = service.execute(query)
+            if io_delay:
+                time.sleep(io_delay)
+            latencies.append((time.perf_counter() - t0) * 1000.0)
+            answers[index] = frozenset(result.answer)
+    finally:
+        wall = time.perf_counter() - wall_start
+        service.close()
+    return ConcurrentRunResult(
+        threads=1,
+        queries=len(queries),
+        epochs=1,
+        wall_seconds=wall,
+        latencies_ms=latencies,
+        answers=answers,
+        applied_ops=applied,
+        admissions_skipped=0,
+    )

@@ -11,6 +11,19 @@ Responsibilities (paper §4):
 * perform admission control and replacement when the window promotes a
   batch;
 * keep per-entry benefit statistics for the replacement policies.
+
+Concurrency
+-----------
+The manager owns the cache subsystem's reader-writer lock
+(:attr:`CacheManager.lock`): hit discovery over :attr:`index`, pruning
+and Mverification are read-side; :meth:`ensure_consistency`,
+:meth:`admit` (and the promotion/eviction it may trigger),
+:meth:`credit` and :meth:`clear` are write-side and take the lock
+themselves, so they are safe to call while queries are in flight on
+other threads.  Single-session services install a
+:class:`~repro.util.rwlock.NullRWLock`, which makes every acquisition a
+no-op — the sequential path pays nothing.  See ``docs/concurrency.md``
+for the per-pipeline-step boundary map.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from repro.dataset.store import GraphStore
 from repro.graphs.features import GraphFeatures
 from repro.graphs.graph import LabeledGraph
 from repro.util.bitset import BitSet
+from repro.util.rwlock import NullRWLock, RWLock
 from repro.util.timing import Stopwatch
 
 __all__ = ["CacheManager", "ConsistencyReport", "NOOP_CONSISTENCY"]
@@ -60,7 +74,8 @@ class CacheManager:
                  query_type: QueryType = QueryType.SUBGRAPH,
                  capacity: int = DEFAULT_CACHE_CAPACITY,
                  window_capacity: int = DEFAULT_WINDOW_CAPACITY,
-                 policy: ReplacementPolicy | str = "hd") -> None:
+                 policy: ReplacementPolicy | str = "hd",
+                 lock: RWLock | NullRWLock | None = None) -> None:
         if capacity <= 0:
             raise ValueError(f"cache capacity must be positive, got {capacity}")
         self.model = model
@@ -74,6 +89,12 @@ class CacheManager:
         self._cache: dict[int, CacheEntry] = {}
         self._next_entry_id = 0
         self._log_cursor = 0
+        #: Reader-writer lock guarding the whole cache subsystem (and,
+        #: by service convention, the dataset store it reflects).  The
+        #: default no-op lock keeps the single-session path zero-cost;
+        #: :meth:`repro.api.service.GraphCacheService.session` swaps in
+        #: a real :class:`RWLock` (``lock_mode="auto"``/``"rw"``).
+        self.lock = lock if lock is not None else NullRWLock()
         # Instrumentation for Figure 6's overhead breakdown.
         self.evictions = 0
         self.admissions = 0
@@ -90,6 +111,7 @@ class CacheManager:
             capacity=config.cache_capacity,
             window_capacity=config.window_capacity,
             policy=config.policy,
+            lock=RWLock() if config.lock_mode == "rw" else NullRWLock(),
         )
 
     def _emit(self, kind_name: str, entry_ids: tuple[int, ...],
@@ -110,7 +132,19 @@ class CacheManager:
 
         EVI: indiscriminate purge.  CON: Algorithm 1 (log analysis) +
         Algorithm 2 (validity refresh on every cache/window entry).
+
+        Write-side: the reconciliation runs under the manager's write
+        lock, serialised against in-flight read phases.  The no-work
+        fast path is double-checked — an unlocked peek at two integers
+        first (benign in CPython: both are single attribute reads),
+        re-verified under the lock before any state moves.
         """
+        if store.log.last_seq <= self._log_cursor:
+            return NOOP_CONSISTENCY
+        with self.lock.write():
+            return self._reconcile(store)
+
+    def _reconcile(self, store: GraphStore) -> ConsistencyReport:
         if store.log.last_seq <= self._log_cursor:
             return NOOP_CONSISTENCY
 
@@ -147,7 +181,8 @@ class CacheManager:
     # ------------------------------------------------------------------
     def all_entries(self) -> list[CacheEntry]:
         """Hit-eligible entries: cache ∪ window (paper §4)."""
-        return list(self._cache.values()) + self.window.entries()
+        with self.lock.read():
+            return list(self._cache.values()) + self.window.entries()
 
     @property
     def cache_size(self) -> int:
@@ -172,28 +207,33 @@ class CacheManager:
         (paper §5.2, Figure 2).  ``features`` lets callers that already
         computed the query's monotone features (the service does, for
         hit discovery) avoid a recomputation here.
+
+        Write-side: runs under the manager's write lock (reentrant for
+        a caller already holding it).
         """
-        entry = CacheEntry(
-            entry_id=self._next_entry_id,
-            query=query,
-            query_type=self.query_type,
-            answer=answer.copy(),
-            valid=store.ids_bitset(),
-            created_at=query_index,
-            features=features,
-        )
-        self._next_entry_id += 1
-        self.statistics.register(entry.entry_id, query_index)
-        self.index.add(entry)
-        self.admissions += 1
-        promoted = self.window.add(entry)
-        if promoted is not None:
-            self._promote(promoted)
-        # Emitted once the admission has fully settled, so hooks observe
-        # the post-admission state (entry in the window or, if its
-        # arrival filled the window, already promoted/evicted).
-        self._emit("ADMISSION", (entry.entry_id,), query_index)
-        return entry
+        with self.lock.write():
+            entry = CacheEntry(
+                entry_id=self._next_entry_id,
+                query=query,
+                query_type=self.query_type,
+                answer=answer.copy(),
+                valid=store.ids_bitset(),
+                created_at=query_index,
+                features=features,
+            )
+            self._next_entry_id += 1
+            self.statistics.register(entry.entry_id, query_index)
+            self.index.add(entry)
+            self.admissions += 1
+            promoted = self.window.add(entry)
+            if promoted is not None:
+                self._promote(promoted)
+            # Emitted once the admission has fully settled, so hooks
+            # observe the post-admission state (entry in the window or,
+            # if its arrival filled the window, already promoted or
+            # evicted).
+            self._emit("ADMISSION", (entry.entry_id,), query_index)
+            return entry
 
     def _promote(self, batch: list[CacheEntry]) -> None:
         """Merge a full window batch into the cache and evict down to
@@ -217,9 +257,10 @@ class CacheManager:
     # ------------------------------------------------------------------
     def credit(self, entry_id: int, tests_saved: int, cost_saved: float,
                query_index: int) -> None:
-        if entry_id in self.statistics:
-            self.statistics.credit(entry_id, tests_saved, cost_saved,
-                                   query_index)
+        with self.lock.write():
+            if entry_id in self.statistics:
+                self.statistics.credit(entry_id, tests_saved, cost_saved,
+                                       query_index)
 
     # ------------------------------------------------------------------
     # Purge (EVI, or manual reset)
@@ -236,16 +277,28 @@ class CacheManager:
         ``purged=True``), polluting the Figure-6 overhead breakdown.
         The EVI consistency path purges through a no-argument callback
         and advances the cursor itself, so it is unaffected.
+
+        Write-side: the purge runs under the manager's write lock, so
+        calling it while queries are in flight on other threads is safe
+        — it serialises after any read phase currently holding the lock
+        and before the next one; a mid-pipeline query can never observe
+        a half-cleared index.  The PURGE event is emitted from inside
+        the critical section; the service layer defers hook execution
+        until the lock is released (see
+        :meth:`repro.api.service.GraphCacheService._dispatch_event`), so
+        user hooks never run while the cache subsystem is locked.
         """
-        cleared = (tuple(e.entry_id for e in self.all_entries())
-                   if self.event_listener is not None else ())
-        self._cache.clear()
-        self.window.clear()
-        self.index.clear()
-        self.statistics.clear()
-        if store is not None:
-            self._log_cursor = store.log.last_seq
-        self._emit("PURGE", cleared)
+        with self.lock.write():
+            cleared = (tuple(self._cache) + tuple(
+                e.entry_id for e in self.window.entries()
+            ) if self.event_listener is not None else ())
+            self._cache.clear()
+            self.window.clear()
+            self.index.clear()
+            self.statistics.clear()
+            if store is not None:
+                self._log_cursor = store.log.last_seq
+            self._emit("PURGE", cleared)
 
     def __repr__(self) -> str:
         return (

@@ -131,7 +131,15 @@ def _feature_fields(features: GraphFeatures):
 
 
 class QueryIndex:
-    """Containment-direction prefilter over the cache + window entries."""
+    """Containment-direction prefilter over the cache + window entries.
+
+    The index carries no lock of its own: the owning
+    :class:`~repro.cache.manager.CacheManager`'s reader-writer lock
+    guards it — :meth:`candidate_supergraphs` / :meth:`candidate_subgraphs`
+    are read-side (and never mutate index state when maintained through
+    the manager, which refreshes guard caches at admission time), while
+    :meth:`add` / :meth:`remove` / :meth:`clear` are write-side.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[int, CacheEntry] = {}
@@ -251,6 +259,13 @@ class QueryIndex:
             self._sigs[entry.entry_id] = group
         for label in entry.features.label_counts:
             self._postings.setdefault(label, set()).add(entry.entry_id)
+        if self._guards_dirty:
+            # Re-cache guarded signatures on the write side (admission
+            # runs under the cache's write lock), so the lookup path
+            # stays strictly read-only under concurrency.  The lazy
+            # refresh in the lookups remains as a fallback for code
+            # driving a bare index.
+            self._refresh_guards()
 
     def remove(self, entry_id: int) -> None:
         entry = self._entries.pop(entry_id, None)

@@ -46,7 +46,15 @@ class EntryStats:
 class StatisticsManager:
     """Keyed by ``entry_id``; survives entries moving window → cache but
     is dropped on eviction (a re-admitted identical query starts fresh,
-    as in GC)."""
+    as in GC).
+
+    Carries no lock of its own: every mutation (``register``/``credit``/
+    ``forget``/``clear``) reaches it through write-side
+    :class:`~repro.cache.manager.CacheManager` operations, and the
+    read-side consumers (the replacement policies' scoring) run inside
+    those same write-locked eviction rounds — so the manager's
+    reader-writer lock covers it entirely (see ``docs/concurrency.md``).
+    """
 
     def __init__(self) -> None:
         self._stats: dict[int, EntryStats] = {}

@@ -103,6 +103,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "window_capacity": args.window_capacity,
                 "retro_budget": args.retro_budget,
                 "workers": args.workers,
+                # The session cap must fit the worker fan-out; lock_mode
+                # "auto" upgrades to the RW lock on the first session().
+                "max_sessions": max(args.concurrency,
+                                    GCConfig().max_sessions),
             })
             runner = GraphCacheService(store, config)
     except ValueError as exc:
@@ -121,6 +125,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.explain >= 0 and service is None:
         print("--explain needs a cache model (CON or EVI); ignoring it",
               file=sys.stderr)
+    if args.concurrency > 1:
+        if service is None:
+            print("--concurrency needs a cache model (CON or EVI)",
+                  file=sys.stderr)
+            return 2
+        return _run_concurrent(args, service, queries, plan)
     total_time = 0.0
     total_tests = 0
     answers = 0
@@ -162,6 +172,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
             **overhead_breakdown_row(s),
         }]
         print(render_table("cache anatomy", hit_rows))
+    return 0
+
+
+def _run_concurrent(args: argparse.Namespace, service: GraphCacheService,
+                    queries: list, plan: ChangePlan | None) -> int:
+    """Serve the workload through the ConcurrentDriver: N sessions over
+    one shared cache, mutations applied at epoch barriers."""
+    from repro.bench.concurrent import ConcurrentDriver
+
+    driver = ConcurrentDriver(service, args.concurrency,
+                              io_delay=args.io_delay_ms / 1000.0)
+    try:
+        outcome = driver.run(queries, plan)
+    finally:
+        service.close()
+    print(render_table(
+        f"concurrent run: model={args.model} matcher={args.matcher} "
+        f"threads={args.concurrency}",
+        [outcome.to_row()],
+    ))
+    s = service.summary()
+    print(render_table("cache anatomy (all sessions)", [{
+        "zero-test queries": s["zero_test_queries"],
+        "exact-hit queries": s["queries_with_exact_hit"],
+        "admissions skipped": s["admissions_skipped"],
+        **overhead_breakdown_row(s),
+    }]))
     return 0
 
 
@@ -209,6 +246,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Mverifier worker threads (1 = sequential "
                           "reference path; answers are identical either "
                           "way)")
+    run.add_argument("--concurrency", type=int, default=1, metavar="N",
+                     help="serve the workload from N worker threads "
+                          "sharing one cache (needs a cache model; "
+                          "answers are identical to a sequential run)")
+    run.add_argument("--io-delay-ms", type=float, default=0.0, metavar="MS",
+                     help="with --concurrency: emulated per-request "
+                          "service time outside the GC+ pipeline "
+                          "(parsing/network), which worker threads "
+                          "overlap")
     run.add_argument("--explain", type=int, default=-1, metavar="N",
                      help="print the cache's explain plan before query N")
     run.add_argument("--change-batches", type=int, default=0)

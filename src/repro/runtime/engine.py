@@ -6,7 +6,11 @@ kept as a deprecated, signature-compatible facade so existing code and
 papers' snippets keep running.  New code should construct a
 :class:`~repro.api.GraphCacheService` from a
 :class:`~repro.api.GCConfig` instead — it adds batch execution, explain
-plans, event hooks and a mutation API on top of the same engine.
+plans, event hooks, a mutation API and concurrent shared-cache sessions
+(:meth:`~repro.api.GraphCacheService.session`) on top of the same
+engine.  The shim itself remains single-threaded: ``session()`` is
+reachable through delegation, but concurrent callers should hold the
+service, not the shim.
 """
 
 from __future__ import annotations

@@ -9,6 +9,7 @@ baseline candidate set is the entire live dataset.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 
@@ -104,6 +105,13 @@ class ParallelMethodM(MethodM):
     that a by-name clone would not reproduce — verification falls back
     to the sequential path: correctness is never traded for
     parallelism.
+
+    :meth:`verify` itself may be called from several threads at once
+    (concurrent shared-cache sessions run it read-side — see
+    ``docs/concurrency.md``): each *calling* thread keeps its own set
+    of worker-matcher clones (so clones are never shared between
+    in-flight verifications either), the executor is created under a
+    lock, and stat folding into the primary matcher is serialised.
     """
 
     def __init__(self, matcher: SubgraphMatcher, store: GraphStore,
@@ -116,7 +124,9 @@ class ParallelMethodM(MethodM):
         self.workers = workers
         self._factory = matcher_factory
         self._executor: ThreadPoolExecutor | None = None
-        self._clones: list[SubgraphMatcher] | None = None
+        self._init_lock = threading.Lock()     # guards executor creation
+        self._stats_lock = threading.Lock()    # guards primary-stats folds
+        self._clones_local = threading.local()  # per-calling-thread clones
 
     def verify(self, query: LabeledGraph, candidate_ids: BitSet,
                query_type: QueryType) -> tuple[BitSet, int]:
@@ -126,7 +136,7 @@ class ParallelMethodM(MethodM):
         if len(ids) < 2:
             return super().verify(query, candidate_ids, query_type)
         chunks = _split_chunks(ids, self.workers)
-        matchers = self._worker_matchers()
+        matchers = self._worker_matchers()  # this calling thread's clones
         subgraph_semantics = query_type is QueryType.SUBGRAPH
         futures = [
             self._pool().submit(self._verify_chunk, matchers[i], query,
@@ -140,7 +150,7 @@ class ParallelMethodM(MethodM):
             chunk_answer, chunk_tests = future.result()
             answer = answer | chunk_answer
             tests += chunk_tests
-        self._fold_clone_stats()
+        self._fold_clone_stats(matchers)
         return answer, tests
 
     def _verify_chunk(self, matcher: SubgraphMatcher, query: LabeledGraph,
@@ -165,28 +175,35 @@ class ParallelMethodM(MethodM):
 
     def _pool(self) -> ThreadPoolExecutor:
         if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=self.workers, thread_name_prefix="mverifier"
-            )
+            with self._init_lock:
+                if self._executor is None:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.workers,
+                        thread_name_prefix="mverifier",
+                    )
         return self._executor
 
     def _worker_matchers(self) -> list[SubgraphMatcher]:
-        if self._clones is None:
-            self._clones = [self._factory() for _ in range(self.workers)]
-        return self._clones
+        """This calling thread's private clone set.  One clone per chunk
+        slot; within one ``verify`` each clone serves exactly one chunk,
+        and distinct calling threads never see each other's clones."""
+        clones = getattr(self._clones_local, "clones", None)
+        if clones is None:
+            clones = [self._factory() for _ in range(self.workers)]
+            self._clones_local.clones = clones
+        return clones
 
-    def _fold_clone_stats(self) -> None:
+    def _fold_clone_stats(self, clones: list[SubgraphMatcher]) -> None:
         """Accumulate the worker matchers' counters into the primary
         matcher so ``service.matcher.stats`` keeps reporting totals."""
-        if self._clones is None:
-            return
-        main = self.matcher.stats
-        for clone in self._clones:
-            s = clone.stats
-            main.tests += s.tests
-            main.states += s.states
-            main.found += s.found
-            s.reset()
+        with self._stats_lock:
+            main = self.matcher.stats
+            for clone in clones:
+                s = clone.stats
+                main.tests += s.tests
+                main.states += s.states
+                main.found += s.found
+                s.reset()
 
     def close(self) -> None:
         if self._executor is not None:

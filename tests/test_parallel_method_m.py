@@ -93,7 +93,8 @@ class TestParallelVerify:
         candidates = store.ids_bitset()
         assert parallel.verify(query, candidates, QueryType.SUBGRAPH) \
             == reference.verify(query, candidates, QueryType.SUBGRAPH)
-        assert parallel._clones is None  # pool never engaged
+        # pool never engaged: no clones for this thread, no executor
+        assert getattr(parallel._clones_local, "clones", None) is None
         assert parallel._executor is None
         parallel.close()
 
