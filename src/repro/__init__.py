@@ -51,6 +51,12 @@ from repro.matching import (
     VF2PlusMatcher,
     make_matcher,
 )
+from repro.persist import (
+    Snapshot,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+)
 from repro.runtime.engine import GraphCachePlus, QueryResult
 from repro.runtime.method_m import MethodMRunner
 from repro.util.bitset import BitSet
@@ -84,5 +90,9 @@ __all__ = [
     "GraphQLMatcher",
     "UllmannMatcher",
     "make_matcher",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotMismatchError",
     "__version__",
 ]

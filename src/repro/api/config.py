@@ -18,6 +18,7 @@ harness with one frozen dataclass that
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Any
 
@@ -114,6 +115,17 @@ class GCConfig:
     #: (the root service does not count).  Bounds the worker fan-out a
     #: serving deployment can put behind one cache.
     max_sessions: int = 8
+    #: Default snapshot file for :meth:`GraphCacheService.save` /
+    #: ``load`` and the target of autosaves.  ``None`` (the default)
+    #: leaves persistence entirely manual.  Like ``workers``, a pure
+    #: serving knob: snapshots never change any answer.
+    snapshot_path: str | None = None
+    #: Autosave the cache to ``snapshot_path`` every N admissions
+    #: (0 — the default — disables).  Saves are hook-driven: they run
+    #: from the service's deferred-event machinery *after* every cache
+    #: lock is released, so autosaving never blocks in-flight queries
+    #: beyond the snapshot capture itself.  Requires ``snapshot_path``.
+    autosave_every: int = 0
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "model", _coerce_model(self.model))
@@ -147,8 +159,17 @@ class GCConfig:
                 f"{sorted(LOCK_MODES)}"
             )
         object.__setattr__(self, "lock_mode", self.lock_mode.lower())
+        if self.snapshot_path is not None:
+            if isinstance(self.snapshot_path, os.PathLike):
+                object.__setattr__(self, "snapshot_path",
+                                   os.fspath(self.snapshot_path))
+            if not isinstance(self.snapshot_path, str) or not self.snapshot_path:
+                raise ValueError(
+                    f"snapshot_path must be a non-empty path or None, "
+                    f"got {self.snapshot_path!r}"
+                )
         for name in ("cache_capacity", "window_capacity", "retro_budget",
-                     "workers", "max_sessions"):
+                     "workers", "max_sessions", "autosave_every"):
             _require_int(name, getattr(self, name))
         if self.cache_capacity <= 0:
             raise ValueError(
@@ -171,6 +192,16 @@ class GCConfig:
         if self.max_sessions < 1:
             raise ValueError(
                 f"max_sessions must be >= 1, got {self.max_sessions}"
+            )
+        if self.autosave_every < 0:
+            raise ValueError(
+                f"autosave_every must be >= 0, got {self.autosave_every} "
+                f"(0 disables autosaving)"
+            )
+        if self.autosave_every > 0 and self.snapshot_path is None:
+            raise ValueError(
+                "autosave_every requires snapshot_path: set the file the "
+                "periodic snapshots should be written to"
             )
 
     # ------------------------------------------------------------------
@@ -211,4 +242,6 @@ class GCConfig:
             "workers": self.workers,
             "lock_mode": self.lock_mode,
             "max_sessions": self.max_sessions,
+            "snapshot_path": self.snapshot_path,
+            "autosave_every": self.autosave_every,
         }

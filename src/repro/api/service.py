@@ -41,11 +41,21 @@ from __future__ import annotations
 import threading
 from collections.abc import Callable, Iterable
 from contextlib import contextmanager
+from pathlib import Path
 
 from repro.api.config import GCConfig
 from repro.api.events import CacheEvent, CacheEventKind
 from repro.api.plan import PlanStep, QueryPlan
 from repro.cache.manager import CacheManager, ConsistencyReport
+from repro.cache.replacement import HybridPolicy
+from repro.persist import (
+    Snapshot,
+    SnapshotMismatchError,
+    config_fingerprint,
+    dataset_fingerprint,
+    load_snapshot,
+    save_snapshot,
+)
 from repro.dataset.change_plan import AppliedOp, ChangePlan
 from repro.dataset.store import GraphStore
 from repro.graphs.features import GraphFeatures
@@ -144,6 +154,44 @@ class GraphCacheService:
         # back into the service (execute, purge, mutations) without
         # deadlocking or running under the cache's write lock.
         self._events_local = threading.local()
+        # --- Hook-driven autosave --------------------------------------
+        # Registered as an ordinary admission hook, so it inherits the
+        # deferral guarantee above: the save's snapshot capture runs
+        # only after every cache lock from the triggering pipeline has
+        # been released.
+        self._autosave_admissions = 0
+        # Guards the admission tally (hooks run on each session's
+        # thread, so the increment-and-test must be atomic)...
+        self._autosave_lock = threading.Lock()
+        # ...while this one serialises whole save() calls, so two
+        # sessions' saves to one path cannot interleave.
+        self._save_lock = threading.Lock()
+        if config.autosave_every > 0:
+            self._register(CacheEventKind.ADMISSION, self._autosave_hook)
+
+    def _autosave_hook(self, event: CacheEvent) -> None:
+        with self._autosave_lock:
+            self._autosave_admissions += 1
+            if self._autosave_admissions < self.config.autosave_every:
+                return
+            self._autosave_admissions = 0
+        # The save itself runs outside the tally lock: only the thread
+        # that crossed the threshold reaches here.  Persistence is a
+        # serving knob, never a correctness one, so an I/O failure
+        # (disk full, directory gone) must not crash the query that
+        # happened to trigger the autosave — warn and keep serving; the
+        # next threshold crossing retries.
+        try:
+            self.save()
+        except OSError as exc:
+            import warnings
+
+            warnings.warn(
+                f"autosave to {self.config.snapshot_path!r} failed "
+                f"({exc}); continuing without a snapshot",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     @staticmethod
     def _sync_name(config: GCConfig, field: str,
@@ -567,6 +615,137 @@ class GraphCacheService:
             self.cache.clear(self.store)
 
     # ------------------------------------------------------------------
+    # Snapshot persistence (see docs/persistence.md)
+    # ------------------------------------------------------------------
+    def _snapshot_target(self, path: str | Path | None) -> Path:
+        if path is not None:
+            return Path(path)
+        if self.config.snapshot_path is not None:
+            return Path(self.config.snapshot_path)
+        raise ValueError(
+            "no snapshot path: pass one explicitly or set "
+            "GCConfig.snapshot_path"
+        )
+
+    def save(self, path: str | Path | None = None) -> Path:
+        """Persist the full cache state to a snapshot file.
+
+        ``path`` defaults to ``GCConfig.snapshot_path``.  The capture
+        runs under the cache's write lock (safe while sessions are
+        serving on other threads — they queue behind it exactly as
+        behind a dataset mutation); the write itself is atomic
+        (temp file + ``os.replace``), so readers and crashed autosaves
+        can never observe a torn snapshot.  Returns the path written.
+        """
+        self._check_open()
+        target = self._snapshot_target(path)
+        with self._save_lock:
+            # One write-lock hold (snapshot_state's acquisition is
+            # reentrant) covers both the cache capture and the dataset
+            # fingerprint, so the recorded dataset identity describes
+            # exactly the dataset state at the captured log cursor even
+            # while sessions mutate on other threads.
+            with self.cache.lock.write():
+                state = self.cache.snapshot_state()
+                dataset = dataset_fingerprint(self.store)
+            # The stream position is read *after* the state capture: any
+            # admission that slipped in between is not in the state, and
+            # a counter merely ahead of the captured entries only skips
+            # stream indices on restore — it can never reuse one, which
+            # is what keeps created_at/recency monotone across restarts.
+            with self._counter_lock:
+                query_counter = self._query_counter
+            snapshot = Snapshot(
+                fingerprint=config_fingerprint(self.config),
+                query_counter=query_counter,
+                state=state,
+                dataset=dataset,
+            )
+            return save_snapshot(target, snapshot)
+
+    def load(self, path: str | Path | None = None) -> ConsistencyReport:
+        """Warm-start: replace the cache state with a snapshot's.
+
+        ``path`` defaults to ``GCConfig.snapshot_path``.  The snapshot's
+        config fingerprint must match this service's
+        (:class:`~repro.persist.SnapshotMismatchError` otherwise — a
+        cache state is only meaningful under the semantics and
+        capacities that produced it), and its dataset-log cursor must
+        not lie beyond this store's log (a cursor the store never
+        reached means the snapshot belongs to a different dataset).
+
+        A dataset log that moved *past* the snapshot's cursor while the
+        state was on disk is reconciled immediately through the normal
+        consistency protocol — CON revalidates every restored entry
+        against the missed log suffix, EVI purges (the paper's Figure-2
+        semantics; persisted derived results are never trusted against
+        a base that kept evolving).  Returns that pass's
+        :class:`ConsistencyReport` (``NOOP_CONSISTENCY`` when the log
+        never moved).  The query-stream position resumes at the
+        snapshot's, so stream indices (recency, ``created_at``) stay
+        monotone across the restart.
+        """
+        self._check_open()
+        return self.restore(load_snapshot(self._snapshot_target(path)))
+
+    def restore(self, snapshot: Snapshot) -> ConsistencyReport:
+        """Restore from an already-decoded :class:`~repro.persist.Snapshot`
+        (what :meth:`load` does after reading the file; callers that
+        inspected a snapshot first restore the same object instead of
+        re-reading a path that may have changed underneath them)."""
+        self._check_open()
+        expected = config_fingerprint(self.config)
+        if snapshot.fingerprint != expected:
+            differing = sorted(
+                name for name in set(expected) | set(snapshot.fingerprint)
+                if snapshot.fingerprint.get(name) != expected.get(name)
+            )
+            raise SnapshotMismatchError(
+                f"snapshot config does not match this service's; "
+                f"differing fields: {differing} (snapshot "
+                f"{ {n: snapshot.fingerprint.get(n) for n in differing} }, "
+                f"service { {n: expected.get(n) for n in differing} })"
+            )
+        if snapshot.state.log_cursor > self.store.log.last_seq:
+            raise SnapshotMismatchError(
+                f"snapshot reflects dataset log records up to seq "
+                f"{snapshot.state.log_cursor}, but this store's log only "
+                f"reaches {self.store.log.last_seq} — the snapshot was "
+                f"taken over a different (or newer) dataset"
+            )
+        if snapshot.dataset is not None:
+            # Identity check: Answer/CGvalid bits are indexed by *this*
+            # dataset's graph ids.  The digest describes the dataset at
+            # the snapshot's cursor, so it is verifiable exactly when
+            # the target log has not moved past that cursor — which
+            # includes the dangerous silent case (two freshly loaded
+            # datasets, both logs at 0).  Past the cursor, the id
+            # high-water mark (monotone, never reused) still must hold.
+            if self.store.max_id < snapshot.dataset.get("max_id", -1):
+                raise SnapshotMismatchError(
+                    f"snapshot was taken over a dataset with ids up to "
+                    f"{snapshot.dataset['max_id']}, but this store has "
+                    f"only assigned up to {self.store.max_id} — "
+                    f"different dataset"
+                )
+            if self.store.log.last_seq == snapshot.state.log_cursor:
+                with self.cache.lock.read():
+                    current = dataset_fingerprint(self.store)
+                if current != snapshot.dataset:
+                    raise SnapshotMismatchError(
+                        "snapshot was taken over a different dataset: "
+                        "content fingerprints differ at the same log "
+                        "position (restoring would alias cached "
+                        "Answer/CGvalid bits onto foreign graph ids)"
+                    )
+        self.cache.restore_state(snapshot.state)
+        with self._counter_lock:
+            self._query_counter = max(self._query_counter,
+                                      snapshot.query_counter)
+        with self._event_scope():
+            return self.cache.ensure_consistency(self.store)
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @property
@@ -578,8 +757,19 @@ class GraphCacheService:
         return self._query_counter
 
     def summary(self) -> dict[str, float]:
-        """The monitor's flat aggregate dict for this session."""
-        return self.monitor.summary()
+        """The monitor's flat aggregate dict for this session.
+
+        Under the HD replacement policy the dict additionally carries
+        ``hd_pin_rounds`` / ``hd_pinc_rounds`` — how many eviction
+        rounds each scoring regime won — so ablation reports can say
+        which regime dominated a run.  The tallies reset on purge.
+        """
+        aggregate = self.monitor.summary()
+        policy = self.cache.policy
+        if isinstance(policy, HybridPolicy):
+            aggregate["hd_pin_rounds"] = policy.pin_rounds
+            aggregate["hd_pinc_rounds"] = policy.pinc_rounds
+        return aggregate
 
     def __repr__(self) -> str:
         state = "closed" if self._closed else "open"

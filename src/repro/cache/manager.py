@@ -33,7 +33,11 @@ from dataclasses import dataclass
 from repro.cache.entry import CacheEntry, QueryType
 from repro.cache.models import CacheModel
 from repro.cache.query_index import QueryIndex
-from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.replacement import (
+    HybridPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
 from repro.cache.statistics import StatisticsManager
 from repro.cache.validator import CacheValidator
 from repro.cache.window import WindowManager
@@ -41,6 +45,7 @@ from repro.dataset.log_analyzer import analyze_log
 from repro.dataset.store import GraphStore
 from repro.graphs.features import GraphFeatures
 from repro.graphs.graph import LabeledGraph
+from repro.persist.state import CacheState, EntryRecord
 from repro.util.bitset import BitSet
 from repro.util.rwlock import NullRWLock, RWLock
 from repro.util.timing import Stopwatch
@@ -116,6 +121,11 @@ class CacheManager:
 
     def _emit(self, kind_name: str, entry_ids: tuple[int, ...],
               query_index: int | None = None) -> None:
+        # Empty emissions are suppressed here, for every event kind: an
+        # EVICTION with no victims (a promotion that fit under capacity)
+        # or a PURGE of an already-empty cache is a non-event, and hooks
+        # firing with empty id tuples on every window promotion drowned
+        # real signals (pinned by tests/test_bookkeeping_fixes.py).
         if self.event_listener is None or not entry_ids:
             return
         from repro.api.events import CacheEvent, CacheEventKind
@@ -263,6 +273,130 @@ class CacheManager:
                                        query_index)
 
     # ------------------------------------------------------------------
+    # Snapshot capture / restore (the persistence subsystem's substrate;
+    # the file codec lives in :mod:`repro.persist.snapshot`)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> CacheState:
+        """A decoupled point-in-time capture of the whole cache state.
+
+        Write-side: capturing under the write lock guarantees no
+        admission, eviction, crediting or consistency pass is mid-flight
+        — the captured state is exactly one the sequential semantics
+        could observe, so a restore resumes a *valid* trajectory.  Safe
+        to call while sessions are serving on other threads (they queue
+        behind the capture, exactly as behind a dataset mutation).
+
+        Entries and statistics are deep-copied (see
+        :class:`~repro.persist.state.CacheState`), so the capture stays
+        frozen while the live cache keeps evolving.
+        """
+        with self.lock.write():
+            cache_records = [
+                self._capture(self._cache[entry_id])
+                for entry_id in sorted(self._cache)
+            ]
+            window_records = [self._capture(entry)
+                              for entry in self.window.entries()]
+            pin_rounds = pinc_rounds = 0
+            if isinstance(self.policy, HybridPolicy):
+                pin_rounds = self.policy.pin_rounds
+                pinc_rounds = self.policy.pinc_rounds
+            return CacheState(
+                cache=cache_records,
+                window=window_records,
+                next_entry_id=self._next_entry_id,
+                log_cursor=self._log_cursor,
+                policy_name=self.policy.name,
+                pin_rounds=pin_rounds,
+                pinc_rounds=pinc_rounds,
+            )
+
+    def _capture(self, entry: CacheEntry) -> EntryRecord:
+        return EntryRecord(entry=self._copy_entry(entry),
+                           stats=self.statistics.snapshot(entry.entry_id))
+
+    @staticmethod
+    def _copy_entry(entry: CacheEntry) -> CacheEntry:
+        # The CacheEntry constructor copies the query; the indicators
+        # are copied explicitly.  Features are immutable and shared.
+        return CacheEntry(
+            entry_id=entry.entry_id,
+            query=entry.query,
+            query_type=entry.query_type,
+            answer=entry.answer.copy(),
+            valid=entry.valid.copy(),
+            created_at=entry.created_at,
+            features=entry.features,
+        )
+
+    def restore_state(self, state: CacheState) -> None:
+        """Replace the entire cache state with a captured one.
+
+        Write-side, and **silent**: no admission/eviction/purge events
+        fire — a restore is state transplantation, not cache activity.
+        The bucketed :class:`QueryIndex` is rebuilt from the restored
+        entries (it is derived state; persisting it would only create a
+        second source of truth to keep honest).  The caller is
+        responsible for config compatibility (the service checks the
+        snapshot fingerprint first) and for reconciling a dataset log
+        that moved past ``state.log_cursor`` — running the normal
+        consistency protocol after the restore is exactly that.
+
+        Raises :class:`ValueError` for states that no live manager of
+        this shape could have produced (overfull cache/window, colliding
+        or out-of-range entry ids, foreign policy name).
+        """
+        if state.policy_name != self.policy.name:
+            raise ValueError(
+                f"state was captured under policy "
+                f"{state.policy_name!r}, this manager runs "
+                f"{self.policy.name!r}"
+            )
+        if len(state.cache) > self.capacity:
+            raise ValueError(
+                f"state holds {len(state.cache)} cache entries, capacity "
+                f"is {self.capacity}"
+            )
+        if len(state.window) >= self.window.capacity:
+            # Checked up front (not only inside window.restore) so a bad
+            # state is rejected before any live state has been cleared.
+            raise ValueError(
+                f"state holds {len(state.window)} window entries, window "
+                f"capacity is {self.window.capacity}"
+            )
+        seen: set[int] = set()
+        for record in state.cache + state.window:
+            entry_id = record.entry.entry_id
+            if entry_id in seen:
+                raise ValueError(f"duplicate entry id {entry_id} in state")
+            if entry_id >= state.next_entry_id:
+                raise ValueError(
+                    f"entry id {entry_id} is not below next_entry_id "
+                    f"{state.next_entry_id}"
+                )
+            seen.add(entry_id)
+        with self.lock.write():
+            self._cache.clear()
+            self.index.clear()
+            self.statistics.clear()
+            for record in state.cache:
+                entry = self._copy_entry(record.entry)
+                self._cache[entry.entry_id] = entry
+                self.index.add(entry)
+                self.statistics.restore(entry.entry_id, record.stats)
+            window_entries = [self._copy_entry(record.entry)
+                              for record in state.window]
+            self.window.restore(window_entries)  # validates the length
+            for record, entry in zip(state.window, window_entries):
+                self.index.add(entry)
+                self.statistics.restore(entry.entry_id, record.stats)
+            self._next_entry_id = state.next_entry_id
+            self._log_cursor = state.log_cursor
+            if isinstance(self.policy, HybridPolicy):
+                self.policy.pin_rounds = state.pin_rounds
+                self.policy.pinc_rounds = state.pinc_rounds
+
+    # ------------------------------------------------------------------
     # Purge (EVI, or manual reset)
     # ------------------------------------------------------------------
     def clear(self, store: GraphStore | None = None) -> None:
@@ -296,8 +430,15 @@ class CacheManager:
             self.window.clear()
             self.index.clear()
             self.statistics.clear()
+            # The policy's accumulated state (HD's PIN/PINC regime
+            # tallies) describes the population just purged; a fresh
+            # cache restarts the tallies so ablation reports never mix
+            # regime counts across purge boundaries.
+            self.policy.reset()
             if store is not None:
                 self._log_cursor = store.log.last_seq
+            # Purging an already-empty cache emits nothing (the _emit
+            # guard): hooks only ever observe purges that removed state.
             self._emit("PURGE", cleared)
 
     def __repr__(self) -> str:

@@ -63,6 +63,11 @@ class ReplacementPolicy(abc.ABC):
         )
         return ranked[:overflow]
 
+    def reset(self) -> None:
+        """Drop any accumulated policy state (a purge empties the cache,
+        so per-run counters like HD's regime tallies restart with it).
+        Stateless policies have nothing to do."""
+
 
 class LRUPolicy(ReplacementPolicy):
     """Evict the least recently *useful* entry."""
@@ -136,6 +141,11 @@ class HybridPolicy(ReplacementPolicy):
             self.pinc_rounds += 1
             chosen = self._pinc
         return chosen.select_victims(entries, stats, capacity)
+
+    def reset(self) -> None:
+        """Restart the regime tallies (called when the cache is purged)."""
+        self.pin_rounds = 0
+        self.pinc_rounds = 0
 
 
 POLICIES: dict[str, type[ReplacementPolicy]] = {

@@ -18,6 +18,7 @@ baseline policies inherited from GC.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 __all__ = ["EntryStats", "StatisticsManager"]
@@ -68,6 +69,17 @@ class StatisticsManager:
 
     def forget(self, entry_id: int) -> None:
         self._stats.pop(entry_id, None)
+
+    def restore(self, entry_id: int, stats: EntryStats) -> None:
+        """Reinstate a previously captured :class:`EntryStats` verbatim
+        (snapshot restore) — unlike :meth:`register`, the accrued R/C
+        counters and recency survive, which is the whole point of
+        warm-starting the replacement policies."""
+        self._stats[entry_id] = dataclasses.replace(stats)
+
+    def snapshot(self, entry_id: int) -> EntryStats:
+        """A decoupled copy of one entry's counters (snapshot capture)."""
+        return dataclasses.replace(self._stats[entry_id])
 
     def credit(self, entry_id: int, tests_saved: int, cost_saved: float,
                query_index: int) -> None:

@@ -41,6 +41,20 @@ class WindowManager:
     def entries(self) -> list[CacheEntry]:
         return list(self._entries)
 
+    def restore(self, entries: list[CacheEntry]) -> None:
+        """Reinstate a captured window population in FIFO order (snapshot
+        restore).  A live window always holds fewer entries than its
+        capacity — :meth:`add` promotes the batch the moment it fills —
+        so a full-or-larger restore can only come from a corrupt or
+        foreign snapshot and is rejected."""
+        if len(entries) >= self.capacity:
+            raise ValueError(
+                f"cannot restore {len(entries)} window entries into a "
+                f"window of capacity {self.capacity}; a live window is "
+                f"always below capacity"
+            )
+        self._entries = list(entries)
+
     def clear(self) -> None:
         self._entries.clear()
 

@@ -12,6 +12,19 @@ exchange format for graphs on disk::
 ``run`` prints the paper's per-run metrics (average query time, sub-iso
 tests, hit anatomy) and supports all cache models, matchers, replacement
 policies and both query semantics.
+
+Cache persistence (see ``docs/persistence.md``)::
+
+    python -m repro snapshot save --dataset data.tve \
+        --workload queries.tve --out cache.snap.jsonl
+    python -m repro snapshot load --path cache.snap.jsonl --dataset data.tve
+    python -m repro run --dataset data.tve --workload queries.tve \
+        --warm-start cache.snap.jsonl --save-snapshot cache.snap.jsonl
+
+``snapshot save`` warms a cache over a workload and persists it;
+``snapshot load`` inspects a snapshot (and, with ``--dataset``, restores
+it and reports the reconciliation); ``run --warm-start`` starts serving
+from a persisted cache instead of a cold one.
 """
 
 from __future__ import annotations
@@ -27,6 +40,7 @@ from repro.dataset.store import GraphStore
 from repro.datasets.aids import generate_aids_like
 from repro.graphs import io as graph_io
 from repro.matching import MATCHERS, make_matcher
+from repro.persist import SnapshotError, load_snapshot
 from repro.runtime.method_m import MethodMRunner
 from repro.workloads.typea import TypeACategory, generate_type_a
 from repro.workloads.typeb import TypeBConfig, generate_type_b
@@ -82,6 +96,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if not queries:
         print("workload is empty", file=sys.stderr)
         return 2
+    if args.save_snapshot is not None and not args.save_snapshot.parent.is_dir():
+        # Fail before serving the whole workload, not after.
+        print(f"--save-snapshot: directory {args.save_snapshot.parent} "
+              f"does not exist", file=sys.stderr)
+        return 2
     store = GraphStore.from_graphs(graphs)
 
     try:
@@ -107,6 +126,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 # "auto" upgrades to the RW lock on the first session().
                 "max_sessions": max(args.concurrency,
                                     GCConfig().max_sessions),
+                "snapshot_path": (str(args.save_snapshot)
+                                  if args.save_snapshot else None),
+                "autosave_every": args.autosave_every,
             })
             runner = GraphCacheService(store, config)
     except ValueError as exc:
@@ -125,6 +147,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.explain >= 0 and service is None:
         print("--explain needs a cache model (CON or EVI); ignoring it",
               file=sys.stderr)
+    if service is None and (args.warm_start or args.save_snapshot):
+        print("--warm-start/--save-snapshot need a cache model (CON or EVI)",
+              file=sys.stderr)
+        runner.close()
+        return 2
+    if args.warm_start:
+        if _warm_start(service, args.warm_start) != 0:
+            service.close()
+            return 2
     if args.concurrency > 1:
         if service is None:
             print("--concurrency needs a cache model (CON or EVI)",
@@ -149,6 +180,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             total_time += result.metrics.query_seconds
             total_tests += result.metrics.method_tests
             answers += result.metrics.answer_size
+        if service is not None and args.save_snapshot:
+            if _save_snapshot_cli(service, args.save_snapshot) != 0:
+                return 2
     finally:
         runner.close()  # releases the Mverifier worker pool, if any
 
@@ -170,8 +204,50 @@ def _cmd_run(args: argparse.Namespace) -> int:
             "containing hits": s["total_containing_hits"],
             "contained hits": s["total_contained_hits"],
             **overhead_breakdown_row(s),
+            **_hd_rounds_cell(s),
         }]
         print(render_table("cache anatomy", hit_rows))
+    return 0
+
+
+def _hd_rounds_cell(summary: dict) -> dict[str, str]:
+    """Which HD regime dominated the run's eviction rounds (empty for
+    non-HD policies, which carry no regime tallies)."""
+    if "hd_pin_rounds" not in summary:
+        return {}
+    return {"hd pin/pinc rounds":
+            f"{summary['hd_pin_rounds']}/{summary['hd_pinc_rounds']}"}
+
+
+def _save_snapshot_cli(service: GraphCacheService, path) -> int:
+    """Persist the cache after a run; a failed write is reported on one
+    line (the run's tables were already printed), never a traceback."""
+    try:
+        print(f"saved cache snapshot to {service.save(path)}")
+        return 0
+    except (SnapshotError, OSError) as exc:
+        print(f"saving snapshot failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def _report_restore(service: GraphCacheService, path, report) -> None:
+    reconciled = ("purged (EVI: dataset changed while on disk)"
+                  if report.purged else
+                  f"{report.entries_validated} entries revalidated"
+                  if report.dataset_changed else "dataset unchanged")
+    print(f"warm-start: restored {service.cache.cache_size} cache + "
+          f"{service.cache.window_size} window entries from {path} "
+          f"({reconciled})")
+
+
+def _warm_start(service: GraphCacheService, path) -> int:
+    """Restore ``service`` from the snapshot at ``path``; 0 on success."""
+    try:
+        report = service.load(path)
+    except (SnapshotError, OSError) as exc:
+        print(f"warm-start failed: {exc}", file=sys.stderr)
+        return 2
+    _report_restore(service, path, report)
     return 0
 
 
@@ -185,6 +261,9 @@ def _run_concurrent(args: argparse.Namespace, service: GraphCacheService,
                               io_delay=args.io_delay_ms / 1000.0)
     try:
         outcome = driver.run(queries, plan)
+        if args.save_snapshot:
+            if _save_snapshot_cli(service, args.save_snapshot) != 0:
+                return 2
     finally:
         service.close()
     print(render_table(
@@ -198,8 +277,107 @@ def _run_concurrent(args: argparse.Namespace, service: GraphCacheService,
         "exact-hit queries": s["queries_with_exact_hit"],
         "admissions skipped": s["admissions_skipped"],
         **overhead_breakdown_row(s),
+        **_hd_rounds_cell(s),
     }]))
     return 0
+
+
+def _snapshot_config(args: argparse.Namespace) -> GCConfig:
+    return GCConfig.from_dict({
+        "model": args.model,
+        "query_type": args.query_type,
+        "matcher": args.matcher,
+        "policy": args.policy,
+        "cache_capacity": args.cache_capacity,
+        "window_capacity": args.window_capacity,
+    })
+
+
+def _cmd_snapshot_save(args: argparse.Namespace) -> int:
+    """Warm a cache by executing a workload, then persist its state."""
+    graphs = [g for _, g in graph_io.load_file(args.dataset)]
+    queries = [g for _, g in graph_io.load_file(args.workload)]
+    if not queries:
+        print("workload is empty", file=sys.stderr)
+        return 2
+    try:
+        config = _snapshot_config(args)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    store = GraphStore.from_graphs(graphs)
+    with GraphCacheService(store, config) as service:
+        service.execute_many(queries)
+        try:
+            written = service.save(args.out)
+        except (SnapshotError, OSError) as exc:
+            print(f"saving snapshot failed: {exc}", file=sys.stderr)
+            return 2
+        s = service.summary()
+        print(render_table(
+            f"snapshot save: model={args.model} matcher={args.matcher}",
+            [{
+                "queries warmed": len(queries),
+                "cache entries": service.cache.cache_size,
+                "window entries": service.cache.window_size,
+                "zero-test queries": s["zero_test_queries"],
+                "snapshot": str(written),
+            }],
+        ))
+    return 0
+
+
+def _cmd_snapshot_load(args: argparse.Namespace) -> int:
+    """Inspect a snapshot; with ``--dataset``, restore and reconcile."""
+    try:
+        snapshot = load_snapshot(args.path)
+    except (SnapshotError, OSError) as exc:
+        print(f"cannot load snapshot: {exc}", file=sys.stderr)
+        return 2
+    state = snapshot.state
+    print(render_table(f"snapshot: {args.path}", [{
+        "codec version": snapshot.version,
+        "cache entries": len(state.cache),
+        "window entries": len(state.window),
+        "stream position": snapshot.query_counter,
+        "log cursor": state.log_cursor,
+        "policy": state.policy_name,
+        **({"hd pin/pinc rounds":
+            f"{state.pin_rounds}/{state.pinc_rounds}"}
+           if state.policy_name == "hd" else {}),
+    }]))
+    print("config fingerprint: " + ", ".join(
+        f"{name}={value}" for name, value in snapshot.fingerprint.items()
+    ))
+    if args.dataset is None:
+        return 0
+    # Restore into a service whose config *is* the fingerprint, so the
+    # load can never be rejected for config reasons — what remains is
+    # the dataset reconciliation, which is the interesting part.  The
+    # already-decoded snapshot is restored directly (not re-read from
+    # the path), so the table above and the reconciliation below always
+    # describe the same snapshot even if the file is being rewritten.
+    graphs = [g for _, g in graph_io.load_file(args.dataset)]
+    store = GraphStore.from_graphs(graphs)
+    with GraphCacheService(store,
+                           GCConfig.from_dict(snapshot.fingerprint)
+                           ) as service:
+        report = service.restore(snapshot)
+        _report_restore(service, args.path, report)
+        entries = service.cache.all_entries()
+        live = store.ids_bitset()
+        fully_valid = sum(1 for e in entries if e.fully_valid(live))
+        print(f"against {args.dataset}: {len(entries)} hit-eligible "
+              f"entries, {fully_valid} fully valid, "
+              f"{service.cache.pending_log_records(store)} log records "
+              f"pending")
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    if args.snapshot_command == "save":
+        return _cmd_snapshot_save(args)
+    return _cmd_snapshot_load(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -260,7 +438,41 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--change-batches", type=int, default=0)
     run.add_argument("--ops-per-batch", type=int, default=20)
     run.add_argument("--seed", type=int, default=77)
+    run.add_argument("--warm-start", type=Path, default=None, metavar="SNAP",
+                     help="restore the cache from a snapshot file before "
+                          "serving (needs a cache model; the snapshot's "
+                          "config must match the run's)")
+    run.add_argument("--save-snapshot", type=Path, default=None,
+                     metavar="SNAP",
+                     help="persist the cache state to this file after the "
+                          "run (and use it as the autosave target)")
+    run.add_argument("--autosave-every", type=int, default=0, metavar="N",
+                     help="with --save-snapshot: also snapshot every N "
+                          "admissions during the run (0 = only at the end)")
     run.set_defaults(func=_cmd_run)
+
+    snap = sub.add_parser("snapshot",
+                          help="persist / inspect GC+ cache snapshots")
+    snap_sub = snap.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snap_sub.add_parser(
+        "save", help="warm a cache over a workload and persist its state")
+    snap_save.add_argument("--dataset", type=Path, required=True)
+    snap_save.add_argument("--workload", type=Path, required=True)
+    snap_save.add_argument("--out", type=Path, required=True)
+    snap_save.add_argument("--model", default="CON", help="CON or EVI")
+    snap_save.add_argument("--matcher", default="vf2+",
+                           help=f"one of {sorted(MATCHERS)}")
+    snap_save.add_argument("--query-type", default="subgraph")
+    snap_save.add_argument("--policy", default="hd")
+    snap_save.add_argument("--cache-capacity", type=int, default=100)
+    snap_save.add_argument("--window-capacity", type=int, default=20)
+    snap_save.set_defaults(func=_cmd_snapshot)
+    snap_load = snap_sub.add_parser(
+        "load", help="inspect a snapshot; with --dataset, restore it "
+                     "against that dataset and report the reconciliation")
+    snap_load.add_argument("--path", type=Path, required=True)
+    snap_load.add_argument("--dataset", type=Path, default=None)
+    snap_load.set_defaults(func=_cmd_snapshot)
     return parser
 
 

@@ -77,6 +77,36 @@ class BitSet:
         out._bits = (1 << size) - 1
         return out
 
+    @classmethod
+    def from_hex(cls, digits: str, size: int) -> "BitSet":
+        """Rebuild a bitset from :meth:`to_hex` output and a logical size.
+
+        The inverse of :meth:`to_hex`; used by the snapshot codec
+        (:mod:`repro.persist.snapshot`), which must round-trip ``Answer``
+        and ``CGvalid`` indicators bit-identically.  Bits beyond ``size``
+        are rejected — a snapshot indicator can never outgrow its
+        recorded logical length.
+        """
+        bits = int(digits, 16) if digits else 0
+        if bits < 0:
+            raise ValueError(f"hex digits must encode a non-negative "
+                             f"value, got {digits!r}")
+        if bits >> size:
+            raise ValueError(
+                f"hex digits {digits!r} set bits beyond logical size {size}"
+            )
+        out = cls(size)
+        out._bits = bits
+        return out
+
+    def to_hex(self) -> str:
+        """Compact lowercase-hex encoding of the set bits (no prefix).
+
+        ``"0"`` for the empty set; round-trips through :meth:`from_hex`
+        together with :attr:`size`.
+        """
+        return format(self._bits, "x")
+
     def copy(self) -> "BitSet":
         out = BitSet(self._size)
         out._bits = self._bits

@@ -48,12 +48,18 @@ def coefficient_of_variation_squared(values: Iterable[float]) -> float:
 
 
 def percentile(values: Iterable[float], q: float) -> float:
-    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    """Linear-interpolation percentile, ``q`` in [0, 100].
+
+    Empty data yields NaN rather than raising: reporting code runs over
+    whatever a run produced, and a zero-query run (an empty trace, or a
+    stream shorter than its warm-up slice) must still produce a report —
+    a NaN cell is an honest "no data", a crash is a lost report.
+    """
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
     data = sorted(values)
     if not data:
-        raise ValueError("percentile of empty data")
+        return math.nan
     if len(data) == 1:
         return data[0]
     pos = (len(data) - 1) * q / 100.0

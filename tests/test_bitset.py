@@ -228,3 +228,31 @@ def test_iteration_sorted_and_cardinality(xs):
 def test_contains_all_matches_superset(xs, ys):
     got = BitSet.from_indices(xs).contains_all(BitSet.from_indices(ys))
     assert got == (ys <= xs)
+
+
+class TestHexCodec:
+    """to_hex/from_hex back the snapshot codec and must round-trip
+    Answer/CGvalid indicators bit-identically."""
+
+    def test_empty(self):
+        assert BitSet(5).to_hex() == "0"
+        restored = BitSet.from_hex("0", 5)
+        assert restored.is_empty() and restored.size == 5
+
+    @given(st.sets(st.integers(min_value=0, max_value=200)),
+           st.integers(min_value=0, max_value=50))
+    def test_round_trip(self, indices, slack):
+        size = (max(indices) + 1 if indices else 0) + slack
+        original = BitSet.from_indices(indices, size=size)
+        restored = BitSet.from_hex(original.to_hex(), original.size)
+        assert restored == original
+        assert restored.size == original.size
+
+    def test_rejects_bits_beyond_size(self):
+        with pytest.raises(ValueError):
+            BitSet.from_hex("10", 4)  # bit 4 does not fit size 4
+        BitSet.from_hex("f", 4)       # bits 0..3 do
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            BitSet.from_hex("zz", 8)

@@ -1,0 +1,451 @@
+"""Snapshot & warm-start persistence (``repro.persist``).
+
+The headline property: a service restored from a mid-trace snapshot is
+*indistinguishable* from the uninterrupted service for the remainder of
+the trace — bit-identical answers, the same per-query test counts and
+hit anatomy, the same promotion/eviction event stream, and the same
+final cache population.  Plus: codec validation, config-fingerprint
+rejection, restore-after-mutation reconciliation (CON revalidates, EVI
+purges), window FIFO preservation, and hook-driven autosaving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import GCConfig, GraphCacheService
+from repro.cache.manager import CacheManager
+from repro.dataset.change_plan import ChangePlan
+from repro.dataset.store import GraphStore
+from repro.datasets.aids import generate_aids_like
+from repro.graphs.graph import LabeledGraph
+from repro.persist import (
+    CacheState,
+    SnapshotFormatError,
+    SnapshotMismatchError,
+    decode_snapshot,
+    encode_snapshot,
+    load_snapshot,
+)
+from repro.workloads.typeb import TypeBConfig, generate_type_b
+
+NUM_QUERIES = 60
+
+CONFIG = GCConfig(model="CON", cache_capacity=10, window_capacity=4)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    """A small but busy trace: Zipf-repeating Type B queries (so the
+    cache hits, credits and evicts) over an evolving dataset."""
+    graphs = generate_aids_like(num_graphs=40, mean_vertices=8.0,
+                                std_vertices=3.0, max_vertices=14, seed=11)
+    workload = generate_type_b(graphs, TypeBConfig(
+        num_queries=NUM_QUERIES, no_answer_probability=0.2,
+        answer_pool_size=25, no_answer_pool_size=8, seed=5,
+    ))
+    queries = [q.graph for q in workload.queries]
+    plan = ChangePlan.generate(graphs, num_queries=NUM_QUERIES,
+                               num_batches=3, ops_per_batch=4, seed=7)
+    return graphs, queries, plan
+
+
+def observe(service):
+    """Attach promotion/eviction recorders; returns the event list."""
+    events: list[tuple[str, tuple[int, ...]]] = []
+    service.on_promotion(lambda e: events.append(("promotion", e.entry_ids)))
+    service.on_eviction(lambda e: events.append(("eviction", e.entry_ids)))
+    return events
+
+
+def run_span(service, queries, plan, start, stop):
+    """Execute queries ``start..stop`` (applying due mutations), returning
+    one observation row per query."""
+    rows = []
+    for i in range(start, stop):
+        if plan is not None:
+            service.apply(plan, i)
+        result = service.execute(queries[i])
+        m = result.metrics
+        rows.append((frozenset(result.answer), m.method_tests,
+                     m.containing_hits, m.contained_hits, m.exact_hits,
+                     m.tests_saved))
+    return rows
+
+
+def population(service):
+    """(sorted cache ids, window ids in FIFO order)."""
+    cache = service.cache
+    return (sorted(cache._cache), [e.entry_id
+                                   for e in cache.window.entries()])
+
+
+class TestMidTraceRoundTrip:
+    """Save mid-trace, restore in a fresh process-equivalent service,
+    replay the remainder: everything matches the uninterrupted run."""
+
+    @pytest.mark.parametrize("model,cut", [
+        ("CON", 7),              # cut inside the first window
+        ("CON", NUM_QUERIES // 2),
+        ("CON", NUM_QUERIES - 1),
+        ("EVI", NUM_QUERIES // 2),
+    ])
+    def test_restored_run_matches_uninterrupted(self, trace, tmp_path,
+                                                model, cut):
+        graphs, queries, plan = trace
+        config = CONFIG.replace(model=model)
+
+        # Reference: one uninterrupted run over the whole trace.
+        plan.reset()
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               config) as reference:
+            events = observe(reference)
+            head = run_span(reference, queries, plan, 0, cut)
+            events_at_cut = len(events)
+            tail = run_span(reference, queries, plan, cut, NUM_QUERIES)
+            expected_events = events[events_at_cut:]
+            expected_population = population(reference)
+        del head  # only the suffix is compared; the head anchors the cut
+
+        # Interrupted run: execute the head, snapshot, tear down.
+        snapshot_path = tmp_path / f"{model}-{cut}.snap.jsonl"
+        plan.reset()
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               config) as interrupted:
+            run_span(interrupted, queries, plan, 0, cut)
+            interrupted.save(snapshot_path)
+
+        # Process-equivalent restart: a fresh store replayed to the cut
+        # (the dataset is durable in a real deployment; the snapshot
+        # only carries *derived* state), a fresh service, restore.
+        store = GraphStore.from_graphs(graphs)
+        plan.reset()
+        for i in range(cut):
+            plan.apply_due(store, i)
+        with GraphCacheService(store, config) as restored:
+            restored.load(snapshot_path)
+            assert restored.queries_executed == cut
+            events2 = observe(restored)
+            tail2 = run_span(restored, queries, plan, cut, NUM_QUERIES)
+            assert tail2 == tail, (
+                "restored replay diverged from the uninterrupted run"
+            )
+            assert events2 == expected_events, (
+                "promotion/eviction trajectory diverged after restore"
+            )
+            assert population(restored) == expected_population
+
+    def test_restore_preserves_benefit_statistics(self, trace, tmp_path):
+        graphs, queries, _ = trace
+        path = tmp_path / "stats.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            run_span(service, queries, None, 0, 30)
+            expected = {
+                e.entry_id: service.cache.statistics.get(e.entry_id)
+                for e in service.cache.all_entries()
+            }
+            assert any(s.tests_saved > 0 for s in expected.values()), (
+                "trace produced no credited entries; test is vacuous"
+            )
+            service.save(path)
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as restored:
+            restored.load(path)
+            for entry_id, stats in expected.items():
+                assert restored.cache.statistics.get(entry_id) == stats
+
+
+class TestCodec:
+    def seed_snapshot_text(self, trace, tmp_path, queries_to_run=12):
+        graphs, queries, _ = trace
+        path = tmp_path / "codec.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            run_span(service, queries, None, 0, queries_to_run)
+            service.save(path)
+        return path.read_text(encoding="utf-8")
+
+    def test_reencode_is_bit_identical(self, trace, tmp_path):
+        text = self.seed_snapshot_text(trace, tmp_path)
+        assert encode_snapshot(decode_snapshot(text)) == text
+
+    def test_rejects_foreign_format(self):
+        with pytest.raises(SnapshotFormatError, match="format"):
+            decode_snapshot('{"format":"something-else","version":1}\n')
+
+    def test_rejects_future_version(self, trace, tmp_path):
+        text = self.seed_snapshot_text(trace, tmp_path)
+        bumped = text.replace('"version":1', '"version":99', 1)
+        with pytest.raises(SnapshotFormatError, match="version"):
+            decode_snapshot(bumped)
+
+    def test_rejects_truncation(self, trace, tmp_path):
+        text = self.seed_snapshot_text(trace, tmp_path)
+        lines = text.splitlines()
+        with pytest.raises(SnapshotFormatError, match="truncated"):
+            decode_snapshot("\n".join(lines[:-1]) + "\n")
+
+    def test_rejects_duplicate_entry(self, trace, tmp_path):
+        text = self.seed_snapshot_text(trace, tmp_path)
+        lines = text.splitlines()
+        with pytest.raises(SnapshotFormatError, match="duplicate"):
+            decode_snapshot("\n".join(lines + [lines[-1]]) + "\n")
+
+    def test_rejects_empty_and_non_json(self):
+        with pytest.raises(SnapshotFormatError, match="empty"):
+            decode_snapshot("")
+        with pytest.raises(SnapshotFormatError, match="JSON"):
+            decode_snapshot("t # 0\nv 0 C\n")
+
+
+class TestFingerprintRejection:
+    @pytest.mark.parametrize("override,field", [
+        (dict(model="EVI"), "model"),
+        (dict(policy="pin"), "policy"),
+        (dict(cache_capacity=11), "cache_capacity"),
+        (dict(query_type="supergraph"), "query_type"),
+        (dict(matcher="vf2"), "matcher"),
+    ])
+    def test_differing_semantics_are_rejected(self, trace, tmp_path,
+                                              override, field):
+        graphs, queries, _ = trace
+        path = tmp_path / "fp.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            run_span(service, queries, None, 0, 8)
+            service.save(path)
+        other = GraphCacheService(GraphStore.from_graphs(graphs),
+                                  CONFIG.replace(**override))
+        with other, pytest.raises(SnapshotMismatchError, match=field):
+            other.load(path)
+
+    def test_performance_knobs_do_not_reject(self, trace, tmp_path):
+        """workers / lock_mode / max_sessions / persistence wiring are
+        not semantics: a snapshot moves freely across them."""
+        graphs, queries, _ = trace
+        path = tmp_path / "perf.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            run_span(service, queries, None, 0, 8)
+            service.save(path)
+        relaxed = CONFIG.replace(workers=2, lock_mode="rw", max_sessions=2,
+                                 snapshot_path=str(path), autosave_every=5)
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               relaxed) as other:
+            other.load(path)
+            assert other.cache.cache_size + other.cache.window_size == 8
+
+
+class TestRestoreReconciliation:
+    """A dataset log that moved while the snapshot was on disk is
+    reconciled through the consistency protocol on load."""
+
+    def answers_for(self, graphs, mutate, query, config=CONFIG):
+        store = GraphStore.from_graphs(graphs)
+        mutate(store)
+        with GraphCacheService(store, config) as fresh:
+            return fresh.execute(query).answer_ids
+
+    def test_con_revalidates_against_missed_suffix(self, trace, tmp_path):
+        graphs, queries, _ = trace
+        path = tmp_path / "recon.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            run_span(service, queries, None, 0, 20)
+            service.save(path)
+
+        store = GraphStore.from_graphs(graphs)
+        victim = next(iter(store.ids()))
+        with GraphCacheService(store, CONFIG) as restored:
+            restored.delete_graph(victim)
+            report = restored.load(path)
+            assert report.dataset_changed and not report.purged
+            assert report.entries_validated == (
+                restored.cache.cache_size + restored.cache.window_size
+            )
+            assert restored.cache.pending_log_records(store) == 0
+            # No restored entry may claim validity toward the deleted id.
+            for entry in restored.cache.all_entries():
+                assert not entry.valid.get(victim)
+            # Answers equal a never-snapshotted service over the same
+            # mutated dataset (correctness is end-to-end, not just bits).
+            for query in queries[20:30]:
+                expected = self.answers_for(
+                    graphs, lambda s: s.delete_graph(victim), query)
+                assert restored.execute(query).answer_ids == expected
+
+    def test_evi_purges_on_missed_changes(self, trace, tmp_path):
+        graphs, queries, _ = trace
+        config = CONFIG.replace(model="EVI")
+        path = tmp_path / "evi.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               config) as service:
+            run_span(service, queries, None, 0, 20)
+            service.save(path)
+        store = GraphStore.from_graphs(graphs)
+        with GraphCacheService(store, config) as restored:
+            restored.add_graph(LabeledGraph.from_edges("CC", [(0, 1)]))
+            report = restored.load(path)
+            assert report.purged
+            assert restored.cache.cache_size == 0
+            assert restored.cache.window_size == 0
+            assert restored.cache.pending_log_records(store) == 0
+
+    def test_unchanged_log_is_noop(self, trace, tmp_path):
+        graphs, queries, _ = trace
+        path = tmp_path / "noop.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            run_span(service, queries, None, 0, 10)
+            service.save(path)
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as restored:
+            report = restored.load(path)
+            assert not report.dataset_changed
+
+    def test_foreign_dataset_same_log_position_is_rejected(self, trace,
+                                                           tmp_path):
+        """The silent-corruption case: a different dataset whose log is
+        at the same position (two freshly loaded stores, both at seq 0)
+        must be rejected by the content fingerprint — restoring would
+        alias Answer/CGvalid bits onto foreign graph ids."""
+        graphs, queries, _ = trace
+        path = tmp_path / "foreign-ds.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            run_span(service, queries, None, 0, 10)
+            service.save(path)
+        other_graphs = generate_aids_like(
+            num_graphs=len(graphs), mean_vertices=8.0, std_vertices=3.0,
+            max_vertices=14, seed=999,   # same size, different content
+        )
+        other = GraphCacheService(GraphStore.from_graphs(other_graphs),
+                                  CONFIG)
+        with other, pytest.raises(SnapshotMismatchError,
+                                  match="different dataset"):
+            other.load(path)
+
+    def test_cursor_beyond_log_is_rejected(self, trace, tmp_path):
+        """A snapshot whose log cursor exceeds the store's log belongs
+        to a different dataset and must not restore."""
+        graphs, queries, _ = trace
+        path = tmp_path / "foreign.snap.jsonl"
+        store = GraphStore.from_graphs(graphs)
+        with GraphCacheService(store, CONFIG) as service:
+            service.add_graph(LabeledGraph.from_edges("CC", [(0, 1)]))
+            run_span(service, queries, None, 0, 5)
+            service.save(path)
+        other = GraphCacheService(GraphStore.from_graphs(graphs), CONFIG)
+        with other, pytest.raises(SnapshotMismatchError, match="log"):
+            other.load(path)
+
+
+class TestWindowRestore:
+    def test_window_fifo_order_survives(self, trace, tmp_path):
+        graphs, queries, _ = trace
+        config = GCConfig(model="CON", cache_capacity=50,
+                          window_capacity=6)
+        path = tmp_path / "fifo.snap.jsonl"
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               config) as service:
+            run_span(service, queries, None, 0, 3)
+            window_ids = [e.entry_id
+                          for e in service.cache.window.entries()]
+            assert len(window_ids) == 3
+            service.save(path)
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               config) as restored:
+            restored.load(path)
+            assert [e.entry_id for e in restored.cache.window.entries()] \
+                == window_ids
+            promotions = []
+            restored.on_promotion(
+                lambda e: promotions.append(e.entry_ids))
+            run_span(restored, queries, None, 3, 6)
+            # The next promotion batch leads with the restored residents,
+            # in their original FIFO order.
+            assert len(promotions) == 1
+            assert list(promotions[0][:3]) == window_ids
+
+
+class TestManagerRestoreValidation:
+    def test_policy_name_mismatch(self):
+        manager = CacheManager(policy="pin")
+        with pytest.raises(ValueError, match="policy"):
+            manager.restore_state(CacheState(policy_name="hd"))
+
+    def test_overfull_window_rejected_before_mutation(self, trace,
+                                                      tmp_path):
+        graphs, queries, _ = trace
+        donor_config = GCConfig(model="CON", window_capacity=10)
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               donor_config) as donor:
+            run_span(donor, queries, None, 0, 5)
+            state = donor.cache.snapshot_state()
+        target = CacheManager(window_capacity=4)
+        with pytest.raises(ValueError, match="window"):
+            target.restore_state(state)
+        # The failed restore must not have clobbered the live state.
+        assert target.cache_size == 0 and target.window_size == 0
+
+
+class TestAutosave:
+    def test_hook_driven_autosave_writes_periodically(self, trace,
+                                                      tmp_path):
+        graphs, queries, _ = trace
+        path = tmp_path / "auto.snap.jsonl"
+        config = CONFIG.replace(snapshot_path=str(path), autosave_every=4)
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               config) as service:
+            run_span(service, queries, None, 0, 3)
+            assert not path.exists(), "autosave fired before N admissions"
+            run_span(service, queries, None, 3, 4)
+            assert path.exists()
+            first = load_snapshot(path)
+            assert first.query_counter == 4
+            run_span(service, queries, None, 4, 8)
+            assert load_snapshot(path).query_counter == 8
+        # The autosaved file warm-starts a fresh service.
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               config) as revived:
+            revived.load()
+            assert revived.queries_executed == 8
+
+    def test_autosave_failure_does_not_crash_serving(self, trace,
+                                                     tmp_path):
+        """Persistence is a serving knob: an autosave whose target
+        directory vanished warns and keeps serving instead of failing
+        the query that happened to trigger it."""
+        graphs, queries, _ = trace
+        doomed = tmp_path / "gone" / "auto.snap.jsonl"
+        doomed.parent.mkdir()
+        config = CONFIG.replace(snapshot_path=str(doomed),
+                                autosave_every=2)
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               config) as service:
+            doomed.parent.rmdir()
+            with pytest.warns(RuntimeWarning, match="autosave"):
+                rows = run_span(service, queries, None, 0, 4)
+            assert len(rows) == 4, "queries failed alongside the autosave"
+            assert not doomed.exists()
+
+    def test_autosave_requires_snapshot_path(self):
+        with pytest.raises(ValueError, match="snapshot_path"):
+            GCConfig(autosave_every=5)
+        with pytest.raises(ValueError, match="autosave_every"):
+            GCConfig(snapshot_path="x.jsonl", autosave_every=-1)
+
+    def test_save_without_any_path_raises(self, trace):
+        graphs, _, _ = trace
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            with pytest.raises(ValueError, match="snapshot path"):
+                service.save()
+
+    def test_load_missing_file_raises_oserror(self, trace, tmp_path):
+        graphs, _, _ = trace
+        with GraphCacheService(GraphStore.from_graphs(graphs),
+                               CONFIG) as service:
+            with pytest.raises(OSError):
+                service.load(tmp_path / "nope.jsonl")

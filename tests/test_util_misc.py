@@ -90,11 +90,19 @@ class TestMeanPercentile:
     def test_percentile_single(self):
         assert percentile([42], 75) == 42
 
+    def test_percentile_empty_is_nan(self):
+        """Empty data reports NaN instead of crashing: a zero-query run
+        (empty trace, or a stream shorter than its warm-up slice) must
+        still produce a report — regression for the ValueError that made
+        reporting over such runs raise instead."""
+        for q in (0, 50, 100):
+            assert math.isnan(percentile([], q))
+
     def test_percentile_errors(self):
         with pytest.raises(ValueError):
-            percentile([], 50)
-        with pytest.raises(ValueError):
             percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -1)
 
 
 class TestCoV:
