@@ -136,6 +136,9 @@ class GraphCacheService:
             self.revalidator = RetrospectiveRevalidator(config.retro_budget)
         self._query_counter = 0
         self._closed = False
+        # close() must be idempotent and race-free: the serving drain
+        # path, __exit__ and user code may all reach it concurrently.
+        self._close_lock = threading.Lock()
         self._hooks: dict[CacheEventKind, list[EventHook]] = {
             kind: [] for kind in CacheEventKind
         }
@@ -214,12 +217,27 @@ class GraphCacheService:
     def close(self) -> None:
         """End the session: detach hooks, release the Mverifier worker
         pool (if any), close any open shared-cache sessions; further
-        queries raise."""
-        self._closed = True
+        queries raise.
+
+        Idempotent — a second (or concurrent) call is a no-op, so the
+        serving drain path, ``__exit__`` and user code can all call it
+        without coordinating.  If a deferred autosave is mid-save on
+        another thread when ``close`` is called, ``close`` waits for
+        that save's write to finish (the ``_save_lock`` hold), so the
+        snapshot on disk is never torn by a shutdown racing an autosave.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         with self._session_guard:
             sessions, self._sessions = self._sessions, []
         for session in sessions:
             session._closed = True
+        # Wait out any in-flight save() (autosave hooks run on session
+        # threads); new saves after this point still work — see save().
+        with self._save_lock:
+            pass
         self.method_m.close()
         self.cache.event_listener = None
         for hooks in self._hooks.values():
@@ -636,8 +654,15 @@ class GraphCacheService:
         behind a dataset mutation); the write itself is atomic
         (temp file + ``os.replace``), so readers and crashed autosaves
         can never observe a torn snapshot.  Returns the path written.
+
+        Unlike queries, saving is allowed on a **closed** service: the
+        capture is a read-only observation of state that outlives
+        :meth:`close` (which only detaches hooks and worker pools).
+        This is what makes a shutdown racing a deferred autosave safe —
+        the autosave completes instead of crashing the closing thread's
+        hook flush — and what lets the drain path snapshot *after* it
+        stopped accepting sessions.
         """
-        self._check_open()
         target = self._snapshot_target(path)
         with self._save_lock:
             # One write-lock hold (snapshot_state's acquisition is
@@ -755,6 +780,22 @@ class GraphCacheService:
     @property
     def queries_executed(self) -> int:
         return self._query_counter
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative, monotonically non-decreasing ops counters.
+
+        Merges the :class:`StatisticsMonitor` tallies (queries, cache
+        hits/misses, skipped admissions, sub-iso test totals) with the
+        cache manager's lifetime admission/eviction/purge counts.  None
+        of these ever decrease — purges and ``clear()`` reset windowed
+        statistics, never these — so the serving layer can expose them
+        verbatim as Prometheus counters (``repro.serve.metrics``).
+        """
+        counters = self.monitor.counters()
+        counters["admissions"] = self.cache.admissions
+        counters["evictions"] = self.cache.evictions
+        counters["purges"] = self.cache.purges
+        return counters
 
     def summary(self) -> dict[str, float]:
         """The monitor's flat aggregate dict for this session.

@@ -100,9 +100,13 @@ class CacheManager:
         #: :meth:`repro.api.service.GraphCacheService.session` swaps in
         #: a real :class:`RWLock` (``lock_mode="auto"``/``"rw"``).
         self.lock = lock if lock is not None else NullRWLock()
-        # Instrumentation for Figure 6's overhead breakdown.
+        # Instrumentation for Figure 6's overhead breakdown and the
+        # serving layer's ops counters.  All three are cumulative and
+        # monotone over the manager's lifetime: :meth:`clear` increments
+        # ``purges`` but never resets any of them.
         self.evictions = 0
         self.admissions = 0
+        self.purges = 0
         #: Optional callback receiving :class:`repro.api.events.CacheEvent`
         #: records; set by the service layer, ignored when ``None``.
         self.event_listener = None
@@ -430,6 +434,7 @@ class CacheManager:
             self.window.clear()
             self.index.clear()
             self.statistics.clear()
+            self.purges += 1
             # The policy's accumulated state (HD's PIN/PINC regime
             # tallies) describes the population just purged; a fresh
             # cache restarts the tallies so ablation reports never mix

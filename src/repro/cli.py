@@ -25,6 +25,17 @@ Cache persistence (see ``docs/persistence.md``)::
 ``snapshot load`` inspects a snapshot (and, with ``--dataset``, restores
 it and reports the reconciliation); ``run --warm-start`` starts serving
 from a persisted cache instead of a cold one.
+
+The HTTP sidecar (see ``docs/serving.md``)::
+
+    python -m repro serve --dataset data.tve --port 8080 \
+        --warm-start cache.snap.jsonl --snapshot-path cache.snap.jsonl
+
+``serve`` answers ``/query``, ``/query/batch``, ``/mutate`` and
+``/explain`` over JSON, exposes ``/healthz``/``/readyz`` probes and a
+Prometheus ``/metrics`` endpoint, and drains gracefully on
+SIGTERM/SIGINT: in-flight requests finish (bounded by
+``--drain-timeout``) and the cache is snapshotted before exit.
 """
 
 from __future__ import annotations
@@ -359,10 +370,20 @@ def _cmd_snapshot_load(args: argparse.Namespace) -> int:
     # describe the same snapshot even if the file is being rewritten.
     graphs = [g for _, g in graph_io.load_file(args.dataset)]
     store = GraphStore.from_graphs(graphs)
-    with GraphCacheService(store,
-                           GCConfig.from_dict(snapshot.fingerprint)
-                           ) as service:
-        report = service.restore(snapshot)
+    try:
+        config = GCConfig.from_dict(snapshot.fingerprint)
+    except ValueError as exc:
+        print(f"cannot restore snapshot: {exc}", file=sys.stderr)
+        return 2
+    with GraphCacheService(store, config) as service:
+        # A rejected restore (foreign dataset, malformed state) is an
+        # expected operator outcome, not a crash: one diagnostic line,
+        # non-zero exit, no traceback.
+        try:
+            report = service.restore(snapshot)
+        except (SnapshotError, ValueError) as exc:
+            print(f"cannot restore snapshot: {exc}", file=sys.stderr)
+            return 2
         _report_restore(service, args.path, report)
         entries = service.cache.all_entries()
         live = store.ids_bitset()
@@ -378,6 +399,75 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
     if args.snapshot_command == "save":
         return _cmd_snapshot_save(args)
     return _cmd_snapshot_load(args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the HTTP sidecar until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from repro.serve.server import CacheServer
+
+    graphs = [g for _, g in graph_io.load_file(args.dataset)]
+    try:
+        config = GCConfig.from_dict({
+            "model": args.model,
+            "query_type": args.query_type,
+            "matcher": args.matcher,
+            "policy": args.policy,
+            "cache_capacity": args.cache_capacity,
+            "window_capacity": args.window_capacity,
+            "workers": args.workers,
+            "lock_mode": "rw",
+            "max_sessions": args.max_sessions,
+            "snapshot_path": (str(args.snapshot_path)
+                              if args.snapshot_path else None),
+            "autosave_every": args.autosave_every,
+        })
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    store = GraphStore.from_graphs(graphs)
+    service = GraphCacheService(store, config)
+    if args.warm_start:
+        if _warm_start(service, args.warm_start) != 0:
+            service.close()
+            return 2
+    server = CacheServer(service, host=args.host, port=args.port,
+                         drain_timeout=args.drain_timeout)
+    server.start()
+    print(f"serving GC+ on {server.address} "
+          f"(model={config.model.name}, matcher={config.matcher}, "
+          f"sessions={config.max_sessions}, "
+          f"{len(graphs)} dataset graphs)", flush=True)
+    if args.port_file is not None:
+        # Written only once the socket is bound: anything polling the
+        # file (CI smoke, scripts) reads a connectable port, never a
+        # racing placeholder.
+        args.port_file.write_text(f"{server.port}\n", encoding="utf-8")
+
+    stop = threading.Event()
+
+    def _request_stop(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+    try:
+        stop.wait()
+    finally:
+        report = server.drain()
+        drained = ("in-flight drained" if report.in_flight_drained
+                   else "drain timeout hit; in-flight abandoned")
+        persisted = ("no snapshot path configured"
+                     if report.snapshot_path is None
+                     and report.snapshot_error is None
+                     else f"snapshot failed: {report.snapshot_error}"
+                     if report.snapshot_error is not None
+                     else f"snapshot saved to {report.snapshot_path}")
+        print(f"drained in {report.drain_seconds:.2f}s ({drained}; "
+              f"{persisted})", flush=True)
+    return 0 if report.snapshot_error is None else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -473,6 +563,46 @@ def build_parser() -> argparse.ArgumentParser:
     snap_load.add_argument("--path", type=Path, required=True)
     snap_load.add_argument("--dataset", type=Path, default=None)
     snap_load.set_defaults(func=_cmd_snapshot)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP serving sidecar (see docs/serving.md)")
+    serve.add_argument("--dataset", type=Path, required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 binds an ephemeral port; "
+                            "pair with --port-file to discover it)")
+    serve.add_argument("--port-file", type=Path, default=None,
+                       metavar="PATH",
+                       help="write the bound port here once serving "
+                            "(for scripts using --port 0)")
+    serve.add_argument("--model", default="CON", help="CON or EVI")
+    serve.add_argument("--matcher", default="vf2+",
+                       help=f"one of {sorted(MATCHERS)}")
+    serve.add_argument("--query-type", default="subgraph")
+    serve.add_argument("--policy", default="hd")
+    serve.add_argument("--cache-capacity", type=int, default=100)
+    serve.add_argument("--window-capacity", type=int, default=20)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="Mverifier worker threads per pipeline")
+    serve.add_argument("--max-sessions", type=int, default=8,
+                       help="concurrent request pipelines (the session "
+                            "pool size)")
+    serve.add_argument("--warm-start", type=Path, default=None,
+                       metavar="SNAP",
+                       help="restore the cache from a snapshot before "
+                            "serving")
+    serve.add_argument("--snapshot-path", type=Path, default=None,
+                       metavar="SNAP",
+                       help="snapshot target for autosaves and the "
+                            "graceful-drain save on shutdown")
+    serve.add_argument("--autosave-every", type=int, default=0, metavar="N",
+                       help="with --snapshot-path: snapshot every N "
+                            "admissions while serving")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="how long shutdown waits for in-flight "
+                            "requests before abandoning them")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

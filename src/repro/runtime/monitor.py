@@ -125,6 +125,14 @@ class StatisticsMonitor:
     total_containing_hits: int = 0
     total_contained_hits: int = 0
     total_exact_hits: int = 0
+    #: Monotonic hit/miss tallies for ops counters: a query is a *cache
+    #: hit* when discovery found at least one containment relation
+    #: (containing, contained or exact) — the paper's "GC+ helped"
+    #: signal — and a miss otherwise.  Unlike the windowed averages
+    #: above these never decrease and never reset on purge, which is
+    #: what Prometheus counters require.
+    cache_hits: int = 0
+    cache_misses: int = 0
     _mutex: threading.Lock = field(default_factory=threading.Lock,
                                    repr=False, compare=False)
 
@@ -159,6 +167,11 @@ class StatisticsMonitor:
         self.total_containing_hits += metrics.containing_hits
         self.total_contained_hits += metrics.contained_hits
         self.total_exact_hits += metrics.exact_hits
+        if (metrics.containing_hits + metrics.contained_hits
+                + metrics.exact_hits) > 0:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
 
     # ------------------------------------------------------------------
     # Report accessors (milliseconds, matching the paper's units)
@@ -182,6 +195,29 @@ class StatisticsMonitor:
     @property
     def avg_method_tests(self) -> float:
         return self.method_tests.mean
+
+    def counters(self) -> dict[str, int]:
+        """Cumulative, monotonically non-decreasing tallies.
+
+        The contract is exactly what Prometheus counters (and any other
+        ops aggregation) need: every value only ever grows over the
+        monitor's lifetime — cache purges, window promotions and manual
+        ``clear()`` calls never reset them — so ``rate()`` over scrapes
+        is meaningful.  Thread-safe like the other accessors.
+        """
+        with self._mutex:
+            return {
+                "queries": self.queries,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "admissions_skipped": self.admissions_skipped,
+                "method_tests": self.total_method_tests,
+                "internal_tests": self.total_internal_tests,
+                "tests_saved": self.total_tests_saved,
+                "zero_test_queries": self.zero_test_queries,
+                "exact_hit_queries": self.queries_with_exact_hit,
+                "empty_shortcut_queries": self.queries_with_empty_shortcut,
+            }
 
     def summary(self) -> dict[str, float]:
         """A flat dict for report tables and JSON dumps."""
@@ -208,4 +244,6 @@ class StatisticsMonitor:
             "total_containing_hits": self.total_containing_hits,
             "total_contained_hits": self.total_contained_hits,
             "total_exact_hits": self.total_exact_hits,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
         }

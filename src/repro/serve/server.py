@@ -1,0 +1,412 @@
+""":class:`CacheServer` — the GC+ sidecar process.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` wrapped around one
+shared :class:`~repro.api.GraphCacheService`.  Connection threads are
+cheap and unbounded; *query execution* is bounded by a pool of
+``GCConfig.max_sessions`` :class:`~repro.api.ServiceSession` handles —
+each request checks a session out, runs the full Figure-1 pipeline
+under the PR 3 reader-writer locking discipline, and returns it.  The
+session pool is therefore the sidecar's concurrency limiter: at most
+``max_sessions`` pipelines are in flight at once, exactly the
+deployment shape ``docs/concurrency.md`` reasons about.
+
+Endpoints (wire format in :mod:`repro.serve.wire`, full reference in
+``docs/serving.md``):
+
+========================  ==========================================
+``POST /query``           answer one graph query (+ per-query metrics)
+``POST /query/batch``     answer a batch through one session
+``POST /mutate``          ADD/DEL/UA/UR dataset mutations
+``POST /explain``         read-only :class:`QueryPlan` receipt
+``GET  /healthz``         liveness (200 while the process serves)
+``GET  /readyz``          readiness (503 while draining)
+``GET  /metrics``         Prometheus text format
+========================  ==========================================
+
+Graceful drain (:meth:`CacheServer.drain`): flip to not-ready (new work
+is refused with 503 and ``Connection: close``), stop the accept loop,
+wait for in-flight requests to finish (bounded by ``drain_timeout``),
+close the session pool, autosave a snapshot via :mod:`repro.persist`
+when the service has a ``snapshot_path``, and close the service.  The
+``serve`` CLI wires SIGTERM/SIGINT to exactly this sequence, so a
+``kill`` never loses the cache a process spent hours earning.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import urlsplit
+
+from repro.api.service import GraphCacheService, ServiceSession
+from repro.dataset.change_plan import AppliedOp
+from repro.dataset.log import OpType
+from repro.persist import SnapshotError
+from repro.serve.metrics import ServerStats, render_prometheus
+from repro.serve.wire import (
+    WireError,
+    applied_op_to_wire,
+    graph_from_wire,
+    plan_to_wire,
+    result_to_wire,
+    require,
+)
+
+__all__ = ["CacheServer", "DrainReport", "SESSION_WAIT_SECONDS"]
+
+#: How long a request waits for a pool session before giving up with a
+#: 503 — long enough to ride out a burst, short enough that a wedged
+#: pipeline surfaces as backpressure instead of a silent pile-up.
+SESSION_WAIT_SECONDS = 10.0
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What one graceful drain did (the CLI prints it on shutdown)."""
+
+    in_flight_drained: bool     # False iff drain_timeout expired first
+    snapshot_path: str | None   # where the final state was persisted
+    snapshot_error: str | None  # why it was not (None on success/skip)
+    drain_seconds: float
+
+
+class _Response(Exception):
+    """Early-exit carrying a finished (status, payload) response."""
+
+    def __init__(self, status: int, payload: dict[str, Any]) -> None:
+        super().__init__(status)
+        self.status = status
+        self.payload = payload
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Thin I/O shell: reads the body, delegates to the app, writes the
+    response.  All routing/validation lives on :class:`CacheServer` so
+    it is unit-testable without sockets."""
+
+    protocol_version = "HTTP/1.1"   # keep-alive for the load generator
+    timeout = 30                    # reap idle keep-alive connections
+    # Headers and body go out as separate writes; with Nagle on, the
+    # second write stalls behind the client's delayed ACK (~40ms added
+    # to every response on loopback).  TCP_NODELAY removes it.
+    disable_nagle_algorithm = True
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        app: "CacheServer" = self.server.app  # type: ignore[attr-defined]
+        path = urlsplit(self.path).path
+        started = time.perf_counter()
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+            status, payload, content_type = app.handle(method, path, body)
+        except Exception as exc:  # never leak a traceback onto the wire
+            status, content_type = 500, _JSON
+            payload = json.dumps({"error": f"internal error: {exc}"}
+                                 ).encode("utf-8")
+        app.stats.observe_request(path, status)
+        if path == "/query" and method == "POST":
+            app.stats.observe_query_latency(time.perf_counter() - started)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(payload)))
+            if app.draining:
+                # Persuade keep-alive clients off a dying server.
+                self.send_header("Connection", "close")
+                self.close_connection = True
+            self.end_headers()
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            self.close_connection = True
+
+    def log_message(self, format: str, *args) -> None:
+        """Per-request stderr logging off; /metrics is the observability
+        surface."""
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True  # drain owns lifecycle; stuck sockets can't pin exit
+    allow_reuse_address = True
+
+    def __init__(self, address, app: "CacheServer") -> None:
+        super().__init__(address, _Handler)
+        self.app = app
+
+
+class CacheServer:
+    """The sidecar: one service, one session pool, one HTTP listener.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` — tests and the CLI's ``--port-file`` rely on this).
+    Usable as a context manager: ``__enter__`` starts, ``__exit__``
+    drains.
+    """
+
+    def __init__(self, service: GraphCacheService, host: str = "127.0.0.1",
+                 port: int = 0, drain_timeout: float = 30.0) -> None:
+        if service.config.lock_mode == "none":
+            raise ValueError(
+                "serving requires shared-cache sessions; construct the "
+                "service with lock_mode='auto' or 'rw'"
+            )
+        self.service = service
+        self.stats = ServerStats()
+        self.drain_timeout = drain_timeout
+        self._host = host
+        self._requested_port = port
+        self._httpd: _HTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._pool: queue.Queue[ServiceSession] = queue.Queue()
+        self._pool_size = 0
+        self._draining = False
+        self._drained: DrainReport | None = None
+        self._in_flight = 0
+        self._flight_cond = threading.Condition()
+        self._drain_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "CacheServer":
+        """Open the session pool, bind the socket, start serving."""
+        if self._httpd is not None:
+            raise RuntimeError("server already started")
+        for _ in range(self.service.config.max_sessions):
+            self._pool.put(self.service.session())
+            self._pool_size += 1
+        self._httpd = _HTTPServer((self._host, self._requested_port), self)
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="gcplus-serve-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def __enter__(self) -> "CacheServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.drain()
+
+    @property
+    def port(self) -> int:
+        if self._httpd is None:
+            raise RuntimeError("server not started")
+        return self._httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        return f"http://{self._host}:{self.port}"
+
+    @property
+    def ready(self) -> bool:
+        return (self._httpd is not None and not self._draining)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float | None = None) -> DrainReport:
+        """Graceful shutdown; idempotent (later calls return the first
+        report).  See the module docstring for the exact sequence."""
+        with self._drain_lock:
+            if self._drained is not None:
+                return self._drained
+            started = time.perf_counter()
+            self._draining = True
+            if self._httpd is not None:
+                self._httpd.shutdown()          # stop accepting
+                if self._thread is not None:
+                    self._thread.join(timeout=5.0)
+            budget = self.drain_timeout if timeout is None else timeout
+            deadline = time.monotonic() + budget
+            with self._flight_cond:
+                while self._in_flight > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._flight_cond.wait(remaining)
+                drained = self._in_flight == 0
+            # Finished (or abandoned) serving: retire the pool.  Session
+            # close is slot bookkeeping only — the shared cache state
+            # stays intact for the snapshot below.
+            while True:
+                try:
+                    self._pool.get_nowait().close()
+                except queue.Empty:
+                    break
+            snapshot_path: str | None = None
+            snapshot_error: str | None = None
+            if self.service.config.snapshot_path is not None:
+                try:
+                    snapshot_path = str(self.service.save())
+                except (SnapshotError, OSError) as exc:
+                    snapshot_error = str(exc)
+            self.service.close()
+            if self._httpd is not None:
+                self._httpd.server_close()
+            self._drained = DrainReport(
+                in_flight_drained=drained,
+                snapshot_path=snapshot_path,
+                snapshot_error=snapshot_error,
+                drain_seconds=time.perf_counter() - started,
+            )
+            return self._drained
+
+    # ------------------------------------------------------------------
+    # Routing (socket-free, so tests can drive it directly)
+    # ------------------------------------------------------------------
+    def handle(self, method: str, path: str,
+               body: bytes) -> tuple[int, bytes, str]:
+        """Serve one request; returns ``(status, payload, content_type)``."""
+        try:
+            if path == "/metrics" and method == "GET":
+                text = render_prometheus(self.service, self.stats,
+                                         ready=self.ready)
+                return 200, text.encode("utf-8"), _PROM
+            if path == "/healthz" and method == "GET":
+                return self._json(200, {"status": "ok",
+                                        "draining": self._draining})
+            if path == "/readyz" and method == "GET":
+                if self.ready:
+                    return self._json(200, {"ready": True})
+                return self._json(503, {"ready": False,
+                                        "reason": "draining"})
+            if path in ("/query", "/query/batch", "/mutate", "/explain"):
+                if method != "POST":
+                    return self._json(405, {"error": f"{path} is POST-only"})
+                if not self.ready:
+                    return self._json(503, {"error": "draining"})
+                payload = self._parse_json(body)
+                with self._flight():
+                    return self._json(*self._serve(path, payload))
+            return self._json(404, {"error": f"unknown path {path!r}"})
+        except _Response as early:
+            return self._json(early.status, early.payload)
+        except WireError as exc:
+            return self._json(400, {"error": str(exc)})
+
+    def _serve(self, path: str, payload: Any) -> tuple[int, dict[str, Any]]:
+        with self._session() as session:
+            if path == "/query":
+                query = graph_from_wire(require(payload, "graph", dict))
+                return 200, result_to_wire(session.execute(query))
+            if path == "/query/batch":
+                graphs = [graph_from_wire(g)
+                          for g in require(payload, "graphs", list)]
+                return 200, {"results": [result_to_wire(r)
+                                         for r in session.execute_many(graphs)]}
+            if path == "/explain":
+                query = graph_from_wire(require(payload, "graph", dict))
+                return 200, plan_to_wire(session.explain(query))
+            return 200, self._mutate(session, payload)
+
+    def _mutate(self, session: ServiceSession,
+                payload: Any) -> dict[str, Any]:
+        """One dataset mutation → the :class:`AppliedOp` it resolved to.
+
+        The op vocabulary is the paper's: ``add_graph`` (ADD),
+        ``delete_graph`` (DEL), ``add_edge`` (UA), ``remove_edge`` (UR).
+        Domain rejections (unknown graph id, duplicate edge) come back
+        as 400s — they are client errors, not server faults.
+        """
+        op = require(payload, "op", str)
+        try:
+            if op == "add_graph":
+                graph = graph_from_wire(require(payload, "graph", dict))
+                graph_id = session.add_graph(graph)
+                applied = AppliedOp(OpType.ADD, graph_id)
+            elif op == "delete_graph":
+                graph_id = require(payload, "graph_id", int)
+                session.delete_graph(graph_id)
+                applied = AppliedOp(OpType.DEL, graph_id)
+            elif op in ("add_edge", "remove_edge"):
+                graph_id = require(payload, "graph_id", int)
+                u = require(payload, "u", int)
+                v = require(payload, "v", int)
+                if op == "add_edge":
+                    session.add_edge(graph_id, u, v)
+                    applied = AppliedOp(OpType.UA, graph_id, (u, v))
+                else:
+                    session.remove_edge(graph_id, u, v)
+                    applied = AppliedOp(OpType.UR, graph_id, (u, v))
+            else:
+                raise WireError(
+                    f"unknown op {op!r}; choose from add_graph, "
+                    f"delete_graph, add_edge, remove_edge"
+                )
+        except (KeyError, IndexError, ValueError) as exc:
+            if isinstance(exc, WireError):
+                raise
+            raise WireError(f"mutation rejected: {exc}") from exc
+        return {"applied": applied_op_to_wire(applied)}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _session(self):
+        """Check a session out of the pool for one request."""
+        server = self
+
+        class _Scope:
+            def __enter__(self) -> ServiceSession:
+                try:
+                    self._handle = server._pool.get(
+                        timeout=SESSION_WAIT_SECONDS)
+                except queue.Empty:
+                    raise _Response(503, {
+                        "error": f"no session available within "
+                                 f"{SESSION_WAIT_SECONDS:.0f}s "
+                                 f"({server._pool_size} in pool)"
+                    }) from None
+                return self._handle
+
+            def __exit__(self, exc_type, exc, tb) -> None:
+                server._pool.put(self._handle)
+
+        return _Scope()
+
+    def _flight(self):
+        server = self
+
+        class _Flight:
+            def __enter__(self):
+                with server._flight_cond:
+                    server._in_flight += 1
+
+            def __exit__(self, exc_type, exc, tb):
+                with server._flight_cond:
+                    server._in_flight -= 1
+                    server._flight_cond.notify_all()
+
+        return _Flight()
+
+    @staticmethod
+    def _parse_json(body: bytes) -> Any:
+        if not body:
+            raise WireError("request body must be a JSON object")
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"malformed JSON body: {exc}") from exc
+
+    @staticmethod
+    def _json(status: int,
+              payload: dict[str, Any]) -> tuple[int, bytes, str]:
+        return status, json.dumps(payload).encode("utf-8"), _JSON

@@ -94,3 +94,94 @@ class TestRun:
             "--workload", str(empty),
         ])
         assert code == 2
+
+
+class TestSnapshotErrorPaths:
+    """Operator-facing snapshot failures: one diagnostic line on stderr
+    and a non-zero exit — never a traceback (regression: these used to
+    escape as raw SnapshotMismatchError/ValueError crashes)."""
+
+    @pytest.fixture
+    def tve(self, tmp_path):
+        from repro.graphs.graph import LabeledGraph
+
+        def write(name, labels_list):
+            graphs = [
+                LabeledGraph.from_edges(
+                    list(labels),
+                    [(i, i + 1) for i in range(len(labels) - 1)])
+                for labels in labels_list
+            ]
+            target = tmp_path / name
+            graph_io.dump_file(target, list(enumerate(graphs)))
+            return target
+
+        return write
+
+    @pytest.fixture
+    def snapshot_file(self, tve, tmp_path):
+        dataset = tve("a.tve", ["CCO", "CCC", "CNO", "COO"])
+        workload = tve("wl.tve", ["CO", "CC"])
+        snap = tmp_path / "cache.snap.jsonl"
+        assert main([
+            "snapshot", "save", "--dataset", str(dataset),
+            "--workload", str(workload), "--out", str(snap),
+        ]) == 0
+        return snap
+
+    def assert_one_line_error(self, capsys, fragment):
+        err = capsys.readouterr().err
+        assert fragment in err
+        assert len(err.strip().splitlines()) == 1, (
+            f"expected a single diagnostic line, got:\n{err}")
+        assert "Traceback" not in err
+
+    def test_load_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.snap.jsonl"
+        bad.write_text("this is not a snapshot\n", encoding="utf-8")
+        code = main(["snapshot", "load", "--path", str(bad)])
+        assert code == 2
+        self.assert_one_line_error(capsys, "cannot load snapshot")
+
+    def test_load_missing_file(self, tmp_path, capsys):
+        code = main(["snapshot", "load", "--path",
+                     str(tmp_path / "nope.snap.jsonl")])
+        assert code == 2
+        self.assert_one_line_error(capsys, "cannot load snapshot")
+
+    def test_restore_against_foreign_dataset(self, snapshot_file, tve,
+                                             capsys):
+        other = tve("b.tve", ["NNN", "NNO", "ONO", "OOO"])
+        code = main(["snapshot", "load", "--path", str(snapshot_file),
+                     "--dataset", str(other)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot restore snapshot" in err
+        assert "different dataset" in err
+        assert "Traceback" not in err
+
+    def test_run_warm_start_config_mismatch(self, snapshot_file, tve,
+                                            capsys):
+        dataset = tve("a2.tve", ["CCO", "CCC", "CNO", "COO"])
+        workload = tve("wl2.tve", ["CO"])
+        code = main([
+            "run", "--dataset", str(dataset),
+            "--workload", str(workload), "--model", "EVI",
+            "--warm-start", str(snapshot_file),
+        ])
+        assert code == 2
+        self.assert_one_line_error(capsys, "warm-start failed")
+
+    def test_run_warm_start_malformed_snapshot(self, tve, tmp_path,
+                                               capsys):
+        dataset = tve("a3.tve", ["CCO", "CCC"])
+        workload = tve("wl3.tve", ["CO"])
+        bad = tmp_path / "bad2.snap.jsonl"
+        bad.write_text("{}\n", encoding="utf-8")
+        code = main([
+            "run", "--dataset", str(dataset),
+            "--workload", str(workload), "--model", "CON",
+            "--warm-start", str(bad),
+        ])
+        assert code == 2
+        self.assert_one_line_error(capsys, "warm-start failed")

@@ -1,0 +1,422 @@
+"""End-to-end tests for the HTTP serving sidecar.
+
+Covers the tentpole acceptance path: warm-start from a snapshot, mixed
+query/mutation traffic over real sockets, ``/metrics`` agreeing with
+the service's own counters, graceful drain persisting a snapshot that
+reloads cleanly — plus the probe endpoints, error mapping, and a
+subprocess SIGTERM drill of ``python -m repro serve``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import GCConfig, GraphCacheService
+from repro.dataset.store import GraphStore
+from repro.datasets.aids import generate_aids_like
+from repro.graphs import io as graph_io
+from repro.persist import load_snapshot
+from repro.serve.server import CacheServer
+from repro.serve.wire import graph_to_wire
+from repro.workloads.typeb import TypeBConfig, generate_type_b
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def make_graphs(n=40, seed=2017):
+    return generate_aids_like(num_graphs=n, mean_vertices=8.0,
+                              std_vertices=3.0, max_vertices=14, seed=seed)
+
+
+def make_queries(graphs, n=30, seed=7):
+    workload = generate_type_b(graphs, TypeBConfig(
+        num_queries=n, no_answer_probability=0.2,
+        answer_pool_size=max(n // 2, 5), no_answer_pool_size=5, seed=seed,
+    ))
+    return [q.graph for q in workload.queries]
+
+
+@pytest.fixture
+def served():
+    """A running sidecar over a fresh service; yields (server, service,
+    graphs).  Draining (and thus closing) happens on teardown if the
+    test did not drain itself."""
+    graphs = make_graphs()
+    store = GraphStore.from_graphs(graphs)
+    service = GraphCacheService(store, GCConfig(
+        model="CON", lock_mode="rw", max_sessions=4))
+    server = CacheServer(service).start()
+    yield server, service, graphs
+    server.drain(timeout=5.0)
+
+
+def request(server, method, path, payload=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else None
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        raw = response.read()
+        if response.getheader("Content-Type", "").startswith("application/json"):
+            return response.status, json.loads(raw)
+        return response.status, raw.decode()
+    finally:
+        conn.close()
+
+
+def parse_prometheus(text):
+    samples = {}
+    for line in text.splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+class TestEndpoints:
+    def test_query_answers_match_direct_execution(self, served):
+        server, service, graphs = served
+        query = graphs[0].induced_subgraph([0, 1, 2])
+        status, payload = request(server, "POST", "/query",
+                                  {"graph": graph_to_wire(query)})
+        assert status == 200
+        # The oracle: the same query straight through the service (the
+        # pool holds every session slot, so go around it).
+        expected = sorted(service.execute(query).answer)
+        assert payload["answer_ids"] == expected
+        assert payload["metrics"]["method_tests"] >= 0
+
+    def test_batch(self, served):
+        server, _, graphs = served
+        wire = graph_to_wire(graphs[0].induced_subgraph([0, 1]))
+        status, payload = request(server, "POST", "/query/batch",
+                                  {"graphs": [wire, wire, wire]})
+        assert status == 200
+        assert len(payload["results"]) == 3
+        # Identical queries: identical answers.
+        answers = {tuple(r["answer_ids"]) for r in payload["results"]}
+        assert len(answers) == 1
+
+    def test_mutate_lifecycle(self, served):
+        server, service, graphs = served
+        wire = graph_to_wire(graphs[0])
+        status, payload = request(server, "POST", "/mutate",
+                                  {"op": "add_graph", "graph": wire})
+        assert status == 200
+        new_id = payload["applied"]["graph_id"]
+        assert payload["applied"]["op"] == "ADD"
+        assert new_id in service.store
+
+        status, payload = request(server, "POST", "/mutate",
+                                  {"op": "delete_graph", "graph_id": new_id})
+        assert status == 200
+        assert payload["applied"]["op"] == "DEL"
+        assert new_id not in service.store
+
+    def test_mutate_edges(self, served):
+        server, service, _ = served
+        g = service.store.get(0)
+        u, v = next(iter(g.non_edges()))
+        status, payload = request(server, "POST", "/mutate", {
+            "op": "add_edge", "graph_id": 0, "u": u, "v": v})
+        assert status == 200
+        assert payload["applied"] == {"op": "UA", "graph_id": 0,
+                                      "edge": [u, v]}
+        status, payload = request(server, "POST", "/mutate", {
+            "op": "remove_edge", "graph_id": 0, "u": u, "v": v})
+        assert status == 200
+        assert payload["applied"]["op"] == "UR"
+
+    def test_explain_is_read_only(self, served):
+        server, service, graphs = served
+        before = service.counters()["queries"]
+        query = graphs[0].induced_subgraph([0, 1])
+        status, payload = request(server, "POST", "/explain",
+                                  {"graph": graph_to_wire(query)})
+        assert status == 200
+        assert payload["candidate_size"] == len(service.store)
+        assert "describe" in payload
+        assert service.counters()["queries"] == before
+
+    def test_probes(self, served):
+        server, _, _ = served
+        assert request(server, "GET", "/healthz")[0] == 200
+        status, payload = request(server, "GET", "/readyz")
+        assert status == 200 and payload["ready"] is True
+
+    def test_error_mapping(self, served):
+        server, _, _ = served
+        # Malformed JSON → 400 with a reason, not a traceback.
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=10)
+        try:
+            conn.request("POST", "/query", body=b"{not json",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 400
+            assert "malformed JSON" in json.loads(response.read())["error"]
+        finally:
+            conn.close()
+        assert request(server, "GET", "/nope")[0] == 404
+        assert request(server, "GET", "/query")[0] == 405
+        status, payload = request(server, "POST", "/mutate",
+                                  {"op": "delete_graph", "graph_id": 10**6})
+        assert status == 400
+        assert "mutation rejected" in payload["error"]
+        status, payload = request(server, "POST", "/mutate",
+                                  {"op": "shrink"})
+        assert status == 400
+        assert "unknown op" in payload["error"]
+
+
+class TestMetricsEndpoint:
+    def test_metrics_match_service_counters(self, served):
+        """The acceptance criterion: after mixed traffic, ``/metrics``
+        and the service's own counters()/summary() tell one story."""
+        server, service, graphs = served
+        queries = make_queries(graphs, n=20)
+        for query in queries:
+            assert request(server, "POST", "/query",
+                           {"graph": graph_to_wire(query)})[0] == 200
+        request(server, "POST", "/mutate",
+                {"op": "add_graph", "graph": graph_to_wire(queries[0])})
+        for query in queries[:5]:
+            request(server, "POST", "/query",
+                    {"graph": graph_to_wire(query)})
+
+        status, text = request(server, "GET", "/metrics")
+        assert status == 200
+        samples = parse_prometheus(text)
+        counters = service.counters()
+        summary = service.summary()
+
+        assert samples["gcplus_queries_total"] == counters["queries"] == 25
+        assert samples["gcplus_cache_hits_total"] == counters["cache_hits"]
+        assert samples["gcplus_cache_misses_total"] == counters["cache_misses"]
+        assert (samples["gcplus_cache_hits_total"]
+                + samples["gcplus_cache_misses_total"]) == 25
+        assert samples["gcplus_admissions_total"] == counters["admissions"]
+        assert samples["gcplus_evictions_total"] == counters["evictions"]
+        assert samples["gcplus_purges_total"] == counters["purges"]
+        assert (samples["gcplus_admissions_skipped_total"]
+                == summary["admissions_skipped"])
+        assert (samples["gcplus_method_tests_total"]
+                == summary["total_method_tests"])
+        assert samples["gcplus_cache_entries"] == service.cache.cache_size
+        assert samples["gcplus_window_entries"] == service.cache.window_size
+        assert (samples['gcplus_http_requests_total{path="/query",status="200"}']
+                == 25)
+        assert samples["gcplus_query_latency_seconds_count"] == 25
+        assert samples['gcplus_query_latency_seconds{quantile="0.5"}'] > 0
+        assert samples['gcplus_query_latency_seconds{quantile="0.95"}'] > 0
+
+
+class TestDrain:
+    def test_drain_persists_reloadable_snapshot(self, tmp_path):
+        graphs = make_graphs()
+        queries = make_queries(graphs, n=25)
+        snap = tmp_path / "drain.snap.jsonl"
+        store = GraphStore.from_graphs(graphs)
+        config = GCConfig(model="CON", lock_mode="rw", max_sessions=4,
+                          snapshot_path=str(snap))
+        service = GraphCacheService(store, config)
+        server = CacheServer(service).start()
+        for query in queries:
+            request(server, "POST", "/query", {"graph": graph_to_wire(query)})
+        entries_before = (service.cache.cache_size
+                          + service.cache.window_size)
+
+        report = server.drain(timeout=5.0)
+        assert report.in_flight_drained
+        assert report.snapshot_error is None
+        assert report.snapshot_path == str(snap)
+        assert service.closed
+        # Idempotent: a second drain returns the same report.
+        assert server.drain() is report
+
+        # The snapshot reloads cleanly into a fresh service.
+        snapshot = load_snapshot(snap)
+        restored_store = GraphStore.from_graphs(graphs)
+        with GraphCacheService(restored_store, config) as restored:
+            restored.restore(snapshot)
+            assert (restored.cache.cache_size
+                    + restored.cache.window_size) == entries_before
+
+    def test_draining_server_refuses_work(self, served):
+        server, service, graphs = served
+        server.drain(timeout=5.0)
+        # The listener socket is closed: connections are refused.
+        with pytest.raises(OSError):
+            request(server, "GET", "/readyz")
+
+    def test_drain_waits_for_in_flight(self, served):
+        """A request mid-pipeline when drain starts completes (its
+        response arrives) and the drain reports a full drain."""
+        server, service, graphs = served
+        wire = graph_to_wire(graphs[0].induced_subgraph([0, 1, 2]))
+        results = {}
+
+        def slow_query():
+            results["response"] = request(
+                server, "POST", "/query/batch", {"graphs": [wire] * 10})
+
+        thread = threading.Thread(target=slow_query)
+        thread.start()
+        time.sleep(0.05)   # let the request reach the pipeline
+        report = server.drain(timeout=10.0)
+        thread.join(timeout=10.0)
+        assert report.in_flight_drained
+        assert results["response"][0] in (200, 503)
+
+
+class TestWarmStartOverHTTP:
+    def test_restart_resumes_hit_rate(self, tmp_path):
+        """Phase 1 serves traffic and drains (snapshot); phase 2
+        warm-starts a new sidecar from it and hits immediately."""
+        graphs = make_graphs()
+        queries = make_queries(graphs, n=30)
+        snap = tmp_path / "warm.snap.jsonl"
+        config = GCConfig(model="CON", lock_mode="rw", max_sessions=4,
+                          snapshot_path=str(snap))
+
+        service1 = GraphCacheService(GraphStore.from_graphs(graphs), config)
+        server1 = CacheServer(service1).start()
+        for query in queries:
+            request(server1, "POST", "/query",
+                    {"graph": graph_to_wire(query)})
+        assert server1.drain(timeout=5.0).snapshot_path == str(snap)
+
+        service2 = GraphCacheService(GraphStore.from_graphs(graphs), config)
+        service2.load(snap)
+        server2 = CacheServer(service2).start()
+        try:
+            hits = 0
+            for query in queries[:10]:
+                _, payload = request(server2, "POST", "/query",
+                                     {"graph": graph_to_wire(query)})
+                m = payload["metrics"]
+                hits += (m["containing_hits"] + m["contained_hits"]
+                         + m["exact_hits"]) > 0
+            # Every one of these repeats a phase-1 query: the restored
+            # cache must hit right out of the gate.
+            assert hits == 10
+        finally:
+            server2.drain(timeout=5.0)
+
+
+class TestServeCLISubprocess:
+    def test_sigterm_drains_and_persists(self, tmp_path):
+        """The CI smoke in miniature: spawn ``python -m repro serve``,
+        talk to it over HTTP, SIGTERM it, assert a valid snapshot."""
+        dataset = tmp_path / "ds.tve"
+        graphs = make_graphs(n=30)
+        graph_io.dump_file(dataset, list(enumerate(graphs)))
+        snap = tmp_path / "cli.snap.jsonl"
+        port_file = tmp_path / "port"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(REPO_SRC) + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--dataset", str(dataset), "--port", "0",
+             "--port-file", str(port_file),
+             "--snapshot-path", str(snap),
+             "--drain-timeout", "10"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.monotonic() + 30
+            while not port_file.exists() and time.monotonic() < deadline:
+                assert proc.poll() is None, proc.communicate()[1]
+                time.sleep(0.05)
+            assert port_file.exists(), "server never wrote its port file"
+            port = int(port_file.read_text().strip())
+
+            conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+            try:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                assert response.status == 200
+                response.read()   # drain so keep-alive can reuse the socket
+                wire = graph_to_wire(graphs[0].induced_subgraph([0, 1]))
+                conn.request("POST", "/query",
+                             body=json.dumps({"graph": wire}).encode(),
+                             headers={"Content-Type": "application/json"})
+                response = conn.getresponse()
+                assert response.status == 200
+                assert json.loads(response.read())["answer_ids"]
+                conn.request("GET", "/metrics")
+                response = conn.getresponse()
+                text = response.read().decode()
+                assert "gcplus_queries_total 1" in text
+            finally:
+                conn.close()
+
+            proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=30)
+            assert proc.returncode == 0, stderr
+            assert "drained" in stdout
+            assert "snapshot saved" in stdout
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        # The drain snapshot is valid and reflects the served query.
+        snapshot = load_snapshot(snap)
+        assert len(snapshot.state.cache) + len(snapshot.state.window) == 1
+
+
+class TestLoadgen:
+    def test_config_validation(self):
+        from repro.serve.loadgen import LoadgenConfig
+
+        with pytest.raises(ValueError, match="qps"):
+            LoadgenConfig(qps=0)
+        with pytest.raises(ValueError, match="duration"):
+            LoadgenConfig(duration_seconds=0)
+        with pytest.raises(ValueError, match="workers"):
+            LoadgenConfig(workers=0)
+        with pytest.raises(ValueError, match="mutation_fraction"):
+            LoadgenConfig(mutation_fraction=1.0)
+
+    def test_empty_query_pool_rejected(self, served):
+        from repro.serve.loadgen import run_loadgen
+
+        server, _, _ = served
+        with pytest.raises(ValueError, match="query pool is empty"):
+            run_loadgen("127.0.0.1", server.port, [])
+
+    def test_short_mixed_run(self, served):
+        """A half-second mixed query/mutation run completes with zero
+        errors and self-consistent accounting."""
+        from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+        server, service, graphs = served
+        queries = make_queries(graphs, n=10)
+        config = LoadgenConfig(qps=60.0, duration_seconds=0.5, workers=2,
+                               mutation_fraction=0.3, seed=7)
+        report = run_loadgen("127.0.0.1", server.port, queries, config)
+        assert report.errors == 0
+        assert report.requests == report.queries + report.mutations == 30
+        assert report.mutations > 0
+        assert report.achieved_qps > 0
+        assert report.hits <= report.queries
+        assert set(report.latency_ms) == {"p50", "p95", "p99", "max"}
+        payload = report.to_dict()
+        assert payload["requests"] == 30
+        # The server saw exactly the run's queries.
+        assert service.counters()["queries"] == report.queries
