@@ -1,0 +1,139 @@
+"""gclint CLI — ``python -m repro.analysis [paths...]``.
+
+Exit status: 0 when no ERROR-severity findings survive pragma and
+baseline suppression, 1 otherwise, 2 for usage errors.  ``--fail-on
+warning`` promotes warnings to gate failures; ``--json`` writes the
+machine-readable report CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.core import AnalysisReport, Severity, run_analysis
+from repro.analysis.rules import default_rules
+
+__all__ = ["main"]
+
+DEFAULT_PATHS = ("src/repro",)
+DEFAULT_BASELINE = "gclint-baseline.json"
+
+
+def _report_json(report: AnalysisReport) -> dict[str, object]:
+    def rows(findings):
+        return [
+            {
+                "rule": f.rule_id,
+                "slug": f.slug,
+                "severity": f.severity.value,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ]
+
+    return {
+        "tool": "gclint",
+        "modules_checked": report.modules_checked,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "findings": rows(report.findings),
+        "suppressed": rows(report.suppressed),
+        "baselined": rows(report.baselined),
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="gclint: project-specific static analysis for the "
+                    "GC+ reproduction (lock discipline, determinism, "
+                    "snapshot-codec drift, exception hygiene, API "
+                    "surface).",
+    )
+    parser.add_argument("paths", nargs="*", default=list(DEFAULT_PATHS),
+                        help="files or directories to analyze "
+                             f"(default: {DEFAULT_PATHS[0]})")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        help="known-findings file (default: "
+                             f"{DEFAULT_BASELINE}; absent file = empty)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file entirely")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record the current findings into --baseline "
+                             "and exit 0")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full machine-readable report here")
+    parser.add_argument("--fail-on", choices=["error", "warning"],
+                        default="error",
+                        help="lowest severity that fails the run "
+                             "(default: error)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.rule_id}  {rule.slug:22s} "
+                  f"[{rule.severity.value}] {rule.description}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"gclint: no such path(s): {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        fingerprints = (frozenset() if args.no_baseline
+                        else load_baseline(args.baseline))
+    except BaselineError as exc:
+        print(f"gclint: {exc}", file=sys.stderr)
+        return 2
+
+    report = run_analysis(args.paths, baseline_fingerprints=fingerprints)
+
+    if args.update_baseline:
+        write_baseline(args.baseline, report.findings)
+        print(f"gclint: recorded {len(report.findings)} finding(s) into "
+              f"{args.baseline}")
+        return 0
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(_report_json(report), indent=2) + "\n",
+            encoding="utf-8",
+        )
+
+    for finding in report.findings:
+        print(finding.render())
+    gating = (report.findings if args.fail_on == "warning"
+              else report.errors)
+    summary = (f"gclint: {report.modules_checked} module(s), "
+               f"{len(report.errors)} error(s), "
+               f"{len(report.warnings)} warning(s)")
+    if report.suppressed:
+        summary += f", {len(report.suppressed)} pragma-suppressed"
+    if report.baselined:
+        summary += f", {len(report.baselined)} baselined"
+    print(summary)
+    return 1 if gating else 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not our error.
+        sys.exit(1)

@@ -1,0 +1,66 @@
+"""Baseline (known-findings) file support.
+
+A baseline lets gclint be adopted on a tree with pre-existing debt:
+``--update-baseline`` records today's findings by stable fingerprint,
+and subsequent runs fail only on *new* ones.  This repository's
+checked-in ``gclint-baseline.json`` is empty by policy — real findings
+get fixed, wire boundaries get inline pragmas with reasons — but the
+mechanism is part of the framework so downstream forks can ratchet.
+
+Fingerprints hash the rule id, the file path and the offending line's
+*text* (not its number), so reformatting elsewhere in a file does not
+churn the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.analysis.core import Finding
+
+__all__ = ["BaselineError", "load_baseline", "write_baseline"]
+
+_BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but is not a gclint baseline."""
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Fingerprints recorded in ``path``; empty when the file is absent
+    (an absent baseline and an empty one mean the same thing)."""
+    target = Path(path)
+    if not target.exists():
+        return frozenset()
+    try:
+        data = json.loads(target.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{target}: not JSON: {exc}") from exc
+    if (not isinstance(data, dict)
+            or data.get("version") != _BASELINE_VERSION
+            or not isinstance(data.get("findings"), dict)):
+        raise BaselineError(
+            f"{target}: expected {{'version': {_BASELINE_VERSION}, "
+            f"'findings': {{fingerprint: note}}}}"
+        )
+    return frozenset(data["findings"])
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> Path:
+    """Record ``findings`` as the new baseline (sorted, diff-friendly)."""
+    target = Path(path)
+    notes = {
+        finding.fingerprint: (f"{finding.rule_id} {finding.path}: "
+                              f"{finding.message}")
+        for finding in findings
+    }
+    payload = {
+        "version": _BASELINE_VERSION,
+        "findings": {fp: notes[fp] for fp in sorted(notes)},
+    }
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                      encoding="utf-8")
+    return target

@@ -1,0 +1,44 @@
+"""The gclint rule registry.
+
+``default_rules()`` is the one assembly point: the CLI, the pytest API
+and CI all run exactly this set, so a rule added here is enforced
+everywhere at once.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.api_surface import (
+    DeprecatedFacadeCallSites,
+    DunderAllIntegrity,
+)
+from repro.analysis.rules.determinism import (
+    HashOrderDependence,
+    UnseededRandomness,
+    WallClockInCore,
+)
+from repro.analysis.rules.drift import SnapshotCodecDrift
+from repro.analysis.rules.exceptions import BroadExcept
+from repro.analysis.rules.locks import (
+    HookUnderLock,
+    ReadToWriteUpgrade,
+    WriteCallUnderReadLock,
+)
+
+__all__ = ["default_rules"]
+
+
+def default_rules() -> list[Rule]:
+    """Every project rule, in report order."""
+    return [
+        WriteCallUnderReadLock(),
+        ReadToWriteUpgrade(),
+        HookUnderLock(),
+        WallClockInCore(),
+        UnseededRandomness(),
+        HashOrderDependence(),
+        SnapshotCodecDrift(),
+        BroadExcept(),
+        DunderAllIntegrity(),
+        DeprecatedFacadeCallSites(),
+    ]

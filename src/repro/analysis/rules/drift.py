@@ -1,0 +1,196 @@
+"""Snapshot-codec drift rule (the PR 5 persistence contract).
+
+The snapshot file format (:mod:`repro.persist.snapshot`) hand-encodes
+the dataclasses it persists (`CacheState`, `EntryStats`, `Snapshot`).
+Adding a field to one of those dataclasses without teaching the codec
+about it produces snapshots that silently drop state — exactly the bug
+class the format's version gate exists to prevent, except the gate only
+helps if someone remembers to bump it.
+
+GC301 closes the loop statically: every field of every tracked
+dataclass must be *mentioned* (as an attribute access, dict key, string
+constant or keyword argument) in both the encode side and the decode
+side of its codec module.  Module-level ``*_FIELDS`` tuples of strings
+count for both sides — that is the codec's own spelling of "these
+fields round-trip mechanically".
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+from repro.analysis.core import Finding, ParsedModule, ProjectRule, Severity
+
+__all__ = ["SnapshotCodecDrift", "TRACKED_DATACLASSES", "CODEC_FILENAMES"]
+
+#: Dataclasses whose fields the snapshot codec must round-trip.
+TRACKED_DATACLASSES = frozenset({"CacheState", "EntryStats", "Snapshot"})
+#: Files that can host a codec (must define encode* and decode*
+#: functions to qualify).
+CODEC_FILENAMES = frozenset({"snapshot.py", "codec.py"})
+
+
+def _is_dataclass_def(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(node: ast.ClassDef) -> list[str]:
+    fields: list[str] = []
+    for stmt in node.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")):
+            annotation = ast.unparse(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.append(stmt.target.id)
+    return fields
+
+
+def _tokens(nodes: Sequence[ast.AST]) -> set[str]:
+    """Every identifier-ish mention inside ``nodes``: string constants,
+    attribute names, keyword-argument names, names."""
+    out: set[str] = set()
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                out.add(node.value)
+            elif isinstance(node, ast.Attribute):
+                out.add(node.attr)
+            elif isinstance(node, ast.Name):
+                out.add(node.id)
+            elif isinstance(node, ast.keyword) and node.arg is not None:
+                out.add(node.arg)
+    return out
+
+
+def _fields_constants(module: ParsedModule) -> set[str]:
+    """Strings in module-level ``*_FIELDS`` tuples/lists (shared by the
+    encode and decode sides by construction)."""
+    out: set[str] = set()
+    for stmt in module.tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+            value = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        named_fields = any(isinstance(t, ast.Name)
+                           and t.id.upper().endswith("_FIELDS")
+                           for t in targets)
+        if named_fields and isinstance(value, (ast.Tuple, ast.List)):
+            for element in value.elts:
+                if (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    out.add(element.value)
+    return out
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    a_parts, b_parts = Path(a).parts, Path(b).parts
+    n = 0
+    for x, y in zip(a_parts, b_parts):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+class SnapshotCodecDrift(ProjectRule):
+    rule_id = "GC301"
+    slug = "snapshot-drift"
+    severity = Severity.ERROR
+    description = ("dataclass field missing from the snapshot codec's "
+                   "encode or decode side")
+
+    def check_project(self,
+                      modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        # 1. Every tracked dataclass definition in the analyzed set.
+        classes: list[tuple[ParsedModule, ast.ClassDef, list[str]]] = []
+        for module in modules:
+            for stmt in module.tree.body:
+                if (isinstance(stmt, ast.ClassDef)
+                        and stmt.name in TRACKED_DATACLASSES
+                        and _is_dataclass_def(stmt)):
+                    classes.append((module, stmt, _dataclass_fields(stmt)))
+        if not classes:
+            return
+
+        # 2. Every codec module: a snapshot.py/codec.py defining both
+        #    encode* and decode* functions.
+        for module in modules:
+            if Path(module.relpath).name not in CODEC_FILENAMES:
+                continue
+            encode_funcs = [stmt for stmt in module.tree.body
+                            if isinstance(stmt, (ast.FunctionDef,
+                                                 ast.AsyncFunctionDef))
+                            and "encode" in stmt.name]
+            decode_funcs = [stmt for stmt in module.tree.body
+                            if isinstance(stmt, (ast.FunctionDef,
+                                                 ast.AsyncFunctionDef))
+                            and "decode" in stmt.name]
+            if not encode_funcs or not decode_funcs:
+                continue
+            shared = _fields_constants(module)
+            encode_tokens = _tokens(encode_funcs) | shared
+            decode_tokens = _tokens(decode_funcs) | shared
+            codec_mentions = encode_tokens | decode_tokens
+
+            for cls_module, cls, fields in self._paired(module, classes):
+                # Only hold the codec to dataclasses it actually
+                # persists — it must mention the class or at least one
+                # of its fields somewhere.
+                if (cls.name not in codec_mentions
+                        and not any(f in codec_mentions for f in fields)):
+                    continue
+                for field_name in fields:
+                    missing = [side for side, tokens in
+                               (("encode", encode_tokens),
+                                ("decode", decode_tokens))
+                               if field_name not in tokens]
+                    if missing:
+                        yield Finding(
+                            rule_id=self.rule_id, slug=self.slug,
+                            severity=self.severity, path=cls_module.relpath,
+                            line=cls.lineno,
+                            message=(
+                                f"{cls.name}.{field_name} is absent from "
+                                f"the {' and '.join(missing)} side of "
+                                f"{module.relpath}; persist the field "
+                                f"(and bump SNAPSHOT_VERSION if the "
+                                f"format changed) or the snapshot "
+                                f"silently drops state"
+                            ),
+                            source_line=cls_module.source_line(cls.lineno),
+                        )
+
+    @staticmethod
+    def _paired(codec: ParsedModule,
+                classes: list[tuple[ParsedModule, ast.ClassDef, list[str]]],
+                ) -> list[tuple[ParsedModule, ast.ClassDef, list[str]]]:
+        """When several same-named dataclasses exist (e.g. a seeded
+        violation fixture next to the real tree), pair each codec with
+        the nearest definition by common path prefix."""
+        by_name: dict[str, list[tuple[ParsedModule, ast.ClassDef,
+                                      list[str]]]] = {}
+        for item in classes:
+            by_name.setdefault(item[1].name, []).append(item)
+        paired: list[tuple[ParsedModule, ast.ClassDef, list[str]]] = []
+        for candidates in by_name.values():
+            best = max(_common_prefix_len(codec.relpath, m.relpath)
+                       for m, _, _ in candidates)
+            paired.extend(item for item in candidates
+                          if _common_prefix_len(codec.relpath,
+                                                item[0].relpath) == best)
+        return paired

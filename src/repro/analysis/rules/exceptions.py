@@ -1,0 +1,69 @@
+"""Exception-hygiene rule for the durability and serving layers.
+
+``repro.persist`` and ``repro.serve`` are where a swallowed exception
+does the most damage: a broad ``except`` around a snapshot write can
+mask a torn file, and one around a request handler can mask data loss
+behind a 200.  GC401 bans bare/broad handlers in those packages with
+two principled outs:
+
+* a handler whose body **re-raises** (ends in bare ``raise``) is
+  cleanup, not swallowing — allowed automatically (the atomic-write
+  unlink path in ``persist.snapshot`` is the canonical case);
+* a documented wire boundary carries an inline pragma
+  (``# gclint: allow[broad-except] <reason>``) — the HTTP dispatcher
+  that must never leak a traceback onto the wire is the canonical case.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import ModuleRule, ParsedModule, Severity, Finding
+
+__all__ = ["BroadExcept"]
+
+BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_part(handler: ast.ExceptHandler) -> str | None:
+    """The broad catch expression, or None for a narrow handler."""
+    if handler.type is None:
+        return "bare except"
+    exprs = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+             else [handler.type])
+    for expr in exprs:
+        name = (expr.attr if isinstance(expr, ast.Attribute)
+                else expr.id if isinstance(expr, ast.Name) else None)
+        if name in BROAD_NAMES:
+            return f"except {name}"
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    last = handler.body[-1]
+    return isinstance(last, ast.Raise) and last.exc is None
+
+
+class BroadExcept(ModuleRule):
+    rule_id = "GC401"
+    slug = "broad-except"
+    severity = Severity.ERROR
+    description = ("bare/broad except in persist/serve outside a "
+                   "documented wire boundary")
+    include_segments = frozenset({"persist", "serve"})
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            part = _broad_part(node)
+            if part is None or _reraises(node):
+                continue
+            yield self.finding(
+                module, node.lineno,
+                f"`{part}` swallows failures in a durability/serving "
+                f"path; catch the specific exceptions, re-raise, or "
+                f"mark a documented wire boundary with "
+                f"`# gclint: allow[broad-except] <reason>`",
+            )

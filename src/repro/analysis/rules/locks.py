@@ -1,0 +1,202 @@
+"""Lock-discipline rules (the PR 3 concurrency contract).
+
+``docs/concurrency.md`` fixes three conventions that nothing at runtime
+enforces:
+
+* **write-side methods** (`CacheManager.admit` / ``credit`` / ``clear``
+  / ``ensure_consistency`` / ``restore_state`` / ``snapshot_state``)
+  take the write lock themselves — calling one from inside a read hold
+  is a read→write upgrade in disguise and deadlocks a real
+  :class:`~repro.util.rwlock.RWLock` (GC101);
+* a ``with lock.read():`` body must never acquire the write side of any
+  lock — the upgrade raises by design (GC102);
+* user-facing cache-event hooks (``on_admission`` etc.) must never be
+  *invoked* while a cache lock is held; emission goes through the
+  deferring ``event_listener``/``_emit`` indirection and runs after
+  release (GC103).
+
+All three are syntactic: a ``with`` item calling ``.read()``/``.write()``
+on a receiver whose dotted path mentions ``lock`` opens a lock region;
+nested ``def``/``lambda``/``class`` bodies reset the region (they run
+later, not under the lock).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+
+from repro.analysis.core import (
+    Finding,
+    ModuleRule,
+    ParsedModule,
+    Severity,
+    dotted_name,
+)
+
+__all__ = ["WriteCallUnderReadLock", "ReadToWriteUpgrade", "HookUnderLock"]
+
+#: CacheManager operations that self-acquire the write lock.
+WRITE_SIDE_METHODS = frozenset({
+    "admit", "credit", "ensure_consistency", "restore_state",
+    "snapshot_state",
+})
+
+#: ``clear`` is write-side too, but the bare name is ubiquitous
+#: (``dict.clear``, ``list.clear``) — only flag it when the receiver
+#: visibly is the cache subsystem.
+AMBIGUOUS_WRITE_METHODS = frozenset({"clear", "purge"})
+
+#: User-hook surfaces that must only ever run via the service's
+#: deferred-dispatch machinery, never inline under a lock.
+HOOK_NAMES = frozenset({
+    "on_admission", "on_eviction", "on_purge", "on_promotion",
+    "event_listener", "_dispatch_event",
+})
+
+
+def _lock_mode(item: ast.withitem) -> str | None:
+    """``"read"``/``"write"`` when the with-item acquires a lock."""
+    expr = item.context_expr
+    if not (isinstance(expr, ast.Call) and
+            isinstance(expr.func, ast.Attribute) and
+            expr.func.attr in ("read", "write")):
+        return None
+    receiver = dotted_name(expr.func.value)
+    if receiver is None or "lock" not in receiver.lower():
+        return None
+    return expr.func.attr
+
+
+def _receiver_text(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        name = dotted_name(call.func.value)
+        if name is not None:
+            return name
+        return ast.unparse(call.func.value)
+    return ""
+
+
+class _LockRegionVisitor(ast.NodeVisitor):
+    """Walks one module tracking the innermost enclosing lock region."""
+
+    def __init__(self) -> None:
+        self.stack: list[str] = []   # "read" / "write" regions, outermost first
+        self.events: list[tuple[str, ast.Call | ast.withitem]] = []
+
+    # New execution scopes do not inherit the lexical lock region.
+    def _visit_scope(self, node: ast.AST) -> None:
+        saved, self.stack = self.stack, []
+        self.generic_visit(node)
+        self.stack = saved
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_scope(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scope(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        modes = [mode for item in node.items
+                 if (mode := _lock_mode(item)) is not None]
+        if "write" in modes and "read" in self.stack:
+            item = next(item for item in node.items
+                        if _lock_mode(item) == "write")
+            self.events.append(("upgrade", item.context_expr))
+        self.stack.extend(modes)
+        self.generic_visit(node)
+        del self.stack[len(self.stack) - len(modes):]
+
+    visit_AsyncWith = visit_With
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.stack:
+            func = node.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None)
+            if name in HOOK_NAMES:
+                self.events.append(("hook", node))
+            elif self.stack[-1] == "read":
+                if name in WRITE_SIDE_METHODS:
+                    self.events.append(("write-call", node))
+                elif (name in AMBIGUOUS_WRITE_METHODS
+                        and "cache" in _receiver_text(node).lower()):
+                    self.events.append(("write-call", node))
+            if (isinstance(func, ast.Attribute)
+                    and func.attr == "acquire_write"
+                    and "read" in self.stack):
+                self.events.append(("upgrade", node))
+        self.generic_visit(node)
+
+
+def _scan(module: ParsedModule) -> list[tuple[str, ast.AST]]:
+    visitor = _LockRegionVisitor()
+    visitor.visit(module.tree)
+    return visitor.events
+
+
+class WriteCallUnderReadLock(ModuleRule):
+    rule_id = "GC101"
+    slug = "write-under-read-lock"
+    severity = Severity.ERROR
+    description = ("write-side cache operation invoked inside a "
+                   "`with lock.read():` region")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for kind, node in _scan(module):
+            if kind != "write-call":
+                continue
+            call = ast.unparse(node.func) if isinstance(node, ast.Call) else "?"
+            yield self.finding(
+                module, node.lineno,
+                f"`{call}(...)` is write-side (self-acquires the write "
+                f"lock) but is called inside a read-lock region; move it "
+                f"after the read hold is released "
+                f"(docs/concurrency.md)",
+            )
+
+
+class ReadToWriteUpgrade(ModuleRule):
+    rule_id = "GC102"
+    slug = "read-write-upgrade"
+    severity = Severity.ERROR
+    description = ("write-lock acquisition lexically inside a read-lock "
+                   "region (upgrade deadlock)")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for kind, node in _scan(module):
+            if kind != "upgrade":
+                continue
+            yield self.finding(
+                module, node.lineno,
+                "read→write lock upgrade: RWLock raises on this pattern "
+                "by design; restructure so the write phase starts after "
+                "the read hold ends (docs/concurrency.md)",
+            )
+
+
+class HookUnderLock(ModuleRule):
+    rule_id = "GC103"
+    slug = "hook-under-lock"
+    severity = Severity.ERROR
+    description = ("cache-event hook invoked while a cache lock is held; "
+                   "emission must defer until release")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for kind, node in _scan(module):
+            if kind != "hook":
+                continue
+            call = ast.unparse(node.func) if isinstance(node, ast.Call) else "?"
+            yield self.finding(
+                module, node.lineno,
+                f"`{call}(...)` runs a cache-event hook inside a lock "
+                f"region; user hooks may re-enter the service and "
+                f"deadlock — buffer through the deferred-event scope "
+                f"instead (GraphCacheService._event_scope)",
+            )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Any
 
@@ -218,13 +219,15 @@ class GCConfig:
         return dataclasses.replace(self, **overrides)
 
     @classmethod
-    def from_dict(cls, data: dict[str, Any]) -> "GCConfig":
+    def from_dict(cls, data: Mapping[str, object]) -> "GCConfig":
         """Build a config from a plain dict (CLI args, JSON, bench scales).
 
         Unknown keys are rejected with the valid key set in the message —
-        a typoed setting must never be silently ignored.
+        a typoed setting must never be silently ignored.  The return
+        type is always a fully validated :class:`GCConfig` — no ``Any``
+        leaks out, so strict-mypy callers get real field types.
         """
-        return cls().replace(**data)
+        return cls().replace(**dict(data))
 
     def to_dict(self) -> dict[str, Any]:
         """A plain, JSON-serialisable dict that round-trips via

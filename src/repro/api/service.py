@@ -93,7 +93,7 @@ class GraphCacheService:
     def __init__(self, store: GraphStore, config: GCConfig | None = None,
                  *, matcher: SubgraphMatcher | None = None,
                  internal_verifier: SubgraphMatcher | None = None,
-                 **overrides) -> None:
+                 **overrides: object) -> None:
         """``config`` defaults to ``GCConfig()``; keyword ``overrides``
         are applied on top via :meth:`GCConfig.replace`.  ``matcher`` and
         ``internal_verifier`` accept ready instances and take precedence
@@ -211,7 +211,7 @@ class GraphCacheService:
         self._check_open()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     def close(self) -> None:
@@ -861,7 +861,7 @@ class ServiceSession:
         self._check_open()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()
 
     def close(self) -> None:

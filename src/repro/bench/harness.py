@@ -35,6 +35,9 @@ __all__ = [
     "TYPE_B_CATEGORIES",
     "ALL_WORKLOADS",
     "MATCHER_NAMES",
+    "shared_harness",
+    "reset_shared_harness",
+    "make_rng",
 ]
 
 TYPE_A_CATEGORIES = ("ZZ", "ZU", "UU")

@@ -29,6 +29,7 @@ for the per-pipeline-step boundary map.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
 
 from repro.cache.entry import CacheEntry, QueryType
 from repro.cache.models import CacheModel
@@ -49,6 +50,10 @@ from repro.persist.state import CacheState, EntryRecord
 from repro.util.bitset import BitSet
 from repro.util.rwlock import NullRWLock, RWLock
 from repro.util.timing import Stopwatch
+
+if TYPE_CHECKING:   # import cycle: repro.api builds on repro.cache
+    from repro.api.config import GCConfig
+    from repro.api.events import CacheEvent
 
 __all__ = ["CacheManager", "ConsistencyReport", "NOOP_CONSISTENCY"]
 
@@ -109,10 +114,10 @@ class CacheManager:
         self.purges = 0
         #: Optional callback receiving :class:`repro.api.events.CacheEvent`
         #: records; set by the service layer, ignored when ``None``.
-        self.event_listener = None
+        self.event_listener: Callable[[CacheEvent], None] | None = None
 
     @classmethod
-    def from_config(cls, config) -> "CacheManager":
+    def from_config(cls, config: GCConfig) -> "CacheManager":
         """Build a manager from a :class:`repro.api.config.GCConfig`."""
         return cls(
             model=config.model,

@@ -56,7 +56,7 @@ from repro.runtime.method_m import MethodMRunner
 from repro.workloads.typea import TypeACategory, generate_type_a
 from repro.workloads.typeb import TypeBConfig, generate_type_b
 
-__all__ = ["main"]
+__all__ = ["main", "build_parser"]
 
 
 def _cmd_gen_dataset(args: argparse.Namespace) -> int:

@@ -47,13 +47,18 @@ import os
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.cache.entry import CacheEntry, QueryType
 from repro.cache.statistics import EntryStats
 from repro.graphs import io as graph_io
+from repro.graphs.graph import LabeledGraph
 from repro.persist.state import CacheState, EntryRecord
 from repro.util.bitset import BitSet
+
+if TYPE_CHECKING:   # import cycle: repro.api builds on repro.persist
+    from repro.api.config import GCConfig
+    from repro.dataset.store import GraphStore
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -108,7 +113,7 @@ class SnapshotMismatchError(SnapshotError):
     reflects a dataset log the target store has never seen."""
 
 
-def config_fingerprint(config) -> dict[str, Any]:
+def config_fingerprint(config: GCConfig) -> dict[str, Any]:
     """The semantic subset of a config, as stored in snapshot headers.
 
     Two services with equal fingerprints interpret a cache state
@@ -119,7 +124,7 @@ def config_fingerprint(config) -> dict[str, Any]:
     return {name: as_dict[name] for name in FINGERPRINT_FIELDS}
 
 
-def dataset_fingerprint(store) -> dict[str, Any]:
+def dataset_fingerprint(store: GraphStore) -> dict[str, Any]:
     """Identity of the dataset a cache state was derived over.
 
     ``Answer``/``CGvalid`` bits are indexed by *this dataset's* graph
@@ -173,11 +178,11 @@ def _decode_bitset(obj: Any, what: str) -> BitSet:
         raise SnapshotFormatError(f"bad {what} indicator: {exc}") from exc
 
 
-def _encode_graph(graph) -> str:
+def _encode_graph(graph: LabeledGraph) -> str:
     return graph_io.dumps([(0, graph)])
 
 
-def _decode_graph(text: Any):
+def _decode_graph(text: Any) -> LabeledGraph:
     try:
         pairs = graph_io.loads(text)
     except (TypeError, AttributeError, ValueError) as exc:

@@ -113,7 +113,10 @@ class _Handler(BaseHTTPRequestHandler):
             length = int(self.headers.get("Content-Length") or 0)
             body = self.rfile.read(length) if length else b""
             status, payload, content_type = app.handle(method, path, body)
-        except Exception as exc:  # never leak a traceback onto the wire
+        # A handler bug must become a one-line 500, never a traceback
+        # leaked onto the wire.
+        # gclint: allow[broad-except] documented HTTP wire boundary
+        except Exception as exc:
             status, content_type = 500, _JSON
             payload = json.dumps({"error": f"internal error: {exc}"}
                                  ).encode("utf-8")

@@ -4,13 +4,51 @@ Figure 6 of the paper breaks per-query time into the Method-M execution
 time and GC+ overhead (window/cache maintenance, plus — for CON — log
 analysis and cache validation).  The monitor uses one stopwatch per
 component so the split is measured, not inferred.
+
+The clock is **injectable**: every :class:`Stopwatch` takes a
+``clock`` callable (default :func:`time.perf_counter`), so replay
+harnesses and tests can pin time with a :class:`ManualClock` instead of
+depending on the host's clock — the only sanctioned way for timing to
+enter the core packages (gclint's GC201 flags direct wall-clock reads).
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 
-__all__ = ["Stopwatch"]
+__all__ = ["Stopwatch", "ManualClock"]
+
+#: Signature of an injectable clock: no arguments, returns seconds.
+Clock = Callable[[], float]
+
+
+class ManualClock:
+    """A deterministic clock for tests and replay: time only moves when
+    :meth:`advance` is called.
+
+    >>> clock = ManualClock()
+    >>> sw = Stopwatch(clock=clock)
+    >>> with sw:
+    ...     _ = clock.advance(1.5)
+    >>> sw.elapsed
+    1.5
+    """
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward (never backward) and return the new now."""
+        if seconds < 0:
+            raise ValueError(f"time cannot move backward ({seconds})")
+        self.now += seconds
+        return self.now
+
+    def __call__(self) -> float:
+        return self.now
 
 
 class Stopwatch:
@@ -23,22 +61,23 @@ class Stopwatch:
     True
     """
 
-    __slots__ = ("elapsed", "_started")
+    __slots__ = ("elapsed", "_started", "_clock")
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Clock | None = None) -> None:
         self.elapsed = 0.0
         self._started: float | None = None
+        self._clock: Clock = clock if clock is not None else time.perf_counter
 
     def start(self) -> None:
         if self._started is not None:
             raise RuntimeError("stopwatch already running")
-        self._started = time.perf_counter()
+        self._started = self._clock()
 
     def stop(self) -> float:
         """Stop and return the duration of the just-finished interval."""
         if self._started is None:
             raise RuntimeError("stopwatch not running")
-        interval = time.perf_counter() - self._started
+        interval = self._clock() - self._started
         self.elapsed += interval
         self._started = None
         return interval

@@ -1,0 +1,10 @@
+"""Seeded API-surface violations: a phantom export (GC501) and a new
+call site on the deprecated facade (GC502)."""
+
+from repro.runtime.engine import GraphCachePlus
+
+__all__ = ["build_service", "ServiceBuilder"]
+
+
+def build_service(store, matcher):
+    return GraphCachePlus(store, matcher)

@@ -1,0 +1,22 @@
+"""Mini codec whose decode side forgot ``CacheState.epoch`` (GC301)."""
+
+import json
+
+from .state import CacheState   # noqa: F401  (analyzer input only)
+
+
+def encode_snapshot(state):
+    return json.dumps({
+        "next_entry_id": state.next_entry_id,
+        "log_cursor": state.log_cursor,
+        "epoch": state.epoch,
+    })
+
+
+def decode_snapshot(text):
+    obj = json.loads(text)
+    # Drift: "epoch" is silently dropped on the way back in.
+    return CacheState(
+        next_entry_id=int(obj["next_entry_id"]),
+        log_cursor=int(obj["log_cursor"]),
+    )

@@ -1,0 +1,11 @@
+"""Seeded snapshot-drift violation: ``epoch`` was added to the
+dataclass but never taught to the codec's decode side."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheState:
+    next_entry_id: int = 0
+    log_cursor: int = 0
+    epoch: int = 0

@@ -1,0 +1,10 @@
+"""Seeded exception-hygiene violation (GC401): a broad except that
+swallows a durability failure."""
+
+
+def save(path, data):
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(data)
+    except Exception:
+        return None
