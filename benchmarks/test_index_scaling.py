@@ -128,7 +128,7 @@ def test_bucketed_index_scaling(report_table):
     RESULTS_PATH.write_text(
         json.dumps({"benchmark": "discovery_index_scaling",
                     "min_speedup_at_1k": MIN_SPEEDUP_AT_1K,
-                    "rows": rows}, indent=2),
+                    "rows": rows}, indent=2, allow_nan=False),
         encoding="utf-8",
     )
     report_table(

@@ -97,7 +97,7 @@ def test_sustained_load(report_table, tmp_path):
         },
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n",
                             encoding="utf-8")
 
     from repro.bench.reporting import render_table

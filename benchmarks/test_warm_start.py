@@ -114,7 +114,7 @@ def test_warm_start_beats_cold(report_table, tmp_path):
         "warm": warm_report,
     }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n",
                             encoding="utf-8")
 
     from repro.bench.reporting import render_table

@@ -33,10 +33,15 @@ from repro.cache.replacement import POLICIES
 from repro.matching import MATCHERS
 
 __all__ = ["GCConfig", "DEFAULT_CACHE_CAPACITY", "DEFAULT_WINDOW_CAPACITY",
-           "LOCK_MODES"]
+           "LOCK_MODES", "WORKER_BACKENDS"]
 
 #: Valid ``GCConfig.lock_mode`` values (see the field's doc).
 LOCK_MODES = frozenset({"auto", "none", "rw"})
+
+#: Valid ``GCConfig.worker_backend`` values.  Mirrors
+#: ``repro.runtime.method_m.WORKER_BACKENDS`` — importing it here would
+#: cycle through ``repro.runtime`` → ``engine`` → ``api.service``.
+WORKER_BACKENDS = frozenset({"thread", "process"})
 
 
 def _coerce_model(value: CacheModel | str) -> CacheModel:
@@ -105,6 +110,15 @@ class GCConfig:
     #: tradeoff).  Pure performance knob; never affects reproduction
     #: fidelity.
     workers: int = 1
+    #: Mverifier pool flavour when ``workers > 1``: ``"thread"`` (the
+    #: default — shared-memory chunking, GIL-bound for the pure-Python
+    #: matchers) or ``"process"`` (persistent worker processes holding
+    #: codec-seeded dataset replicas advanced by incremental deltas —
+    #: see :class:`repro.runtime.method_m.ProcessMethodM`).  Like
+    #: ``workers``, a pure performance knob: answers and test counts are
+    #: bit-identical across backends, so it is excluded from the
+    #: snapshot fingerprint.
+    worker_backend: str = "thread"
     #: Cache-subsystem locking: ``"none"`` (no locks — single-session
     #: only), ``"rw"`` (reader-writer lock from construction), or
     #: ``"auto"`` (the default: lock-free until the first
@@ -160,6 +174,14 @@ class GCConfig:
                 f"{sorted(LOCK_MODES)}"
             )
         object.__setattr__(self, "lock_mode", self.lock_mode.lower())
+        if (not isinstance(self.worker_backend, str)
+                or self.worker_backend.lower() not in WORKER_BACKENDS):
+            raise ValueError(
+                f"unknown worker_backend {self.worker_backend!r}; choose "
+                f"from {sorted(WORKER_BACKENDS)}"
+            )
+        object.__setattr__(self, "worker_backend",
+                           self.worker_backend.lower())
         if self.snapshot_path is not None:
             if isinstance(self.snapshot_path, os.PathLike):
                 object.__setattr__(self, "snapshot_path",
@@ -243,6 +265,7 @@ class GCConfig:
             "caching_enabled": self.caching_enabled,
             "retro_budget": self.retro_budget,
             "workers": self.workers,
+            "worker_backend": self.worker_backend,
             "lock_mode": self.lock_mode,
             "max_sessions": self.max_sessions,
             "snapshot_path": self.snapshot_path,

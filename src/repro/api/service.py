@@ -110,12 +110,21 @@ class GraphCacheService:
             # custom instance not in the registry can't be named).
             config = self._sync_name(config, "matcher", matcher)
         # ``workers=1`` (the default) is the sequential reference
-        # Mverifier; >1 chunks candidates across a thread pool.  Either
-        # way answers and test counts are identical, so ``workers`` is a
-        # pure-performance knob.
-        self.method_m = make_method_m(matcher, store, config.workers)
+        # Mverifier; >1 chunks candidates across a thread pool
+        # (``worker_backend="thread"``) or persistent worker processes
+        # ("process").  Either way answers and test counts are
+        # identical, so both are pure-performance knobs.
+        self.method_m = make_method_m(matcher, store, config.workers,
+                                      backend=config.worker_backend)
         self.query_type = config.query_type
         self.cache = CacheManager.from_config(config)
+        # The process backend keeps per-worker dataset replicas; let the
+        # cache's reconcile epochs push change-plan deltas to them at
+        # quiescent points (verify still re-checks the log cursor, so
+        # this hook is a batching optimisation, not a correctness need).
+        sync = getattr(self.method_m, "sync_replicas", None)
+        if sync is not None:
+            self.cache.epoch_listener = sync
         if internal_verifier is None and config.internal_verifier:
             internal_verifier = make_matcher(config.internal_verifier)
         elif internal_verifier is not None:
@@ -240,6 +249,7 @@ class GraphCacheService:
             pass
         self.method_m.close()
         self.cache.event_listener = None
+        self.cache.epoch_listener = None
         for hooks in self._hooks.values():
             hooks.clear()
 

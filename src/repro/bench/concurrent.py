@@ -32,6 +32,7 @@ the win to the CPU section with zero changes here).
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import Counter
@@ -100,13 +101,19 @@ class ConcurrentRunResult:
         return self.queries / self.wall_seconds if self.wall_seconds else 0.0
 
     def latency_percentile_ms(self, fraction: float) -> float:
-        """Nearest-rank percentile over per-query latencies (ms)."""
-        if not self.latencies_ms:
-            return 0.0
-        ordered = sorted(self.latencies_ms)
-        rank = min(int(fraction * (len(ordered) - 1) + 0.5),
-                   len(ordered) - 1)
-        return ordered[rank]
+        """Percentile over per-query latencies (ms), ``fraction`` in
+        [0, 1].
+
+        Delegates to :func:`repro.util.stats.percentile` — **linear
+        interpolation between closest ranks**, the project-wide
+        definition every bench artifact reports (this class previously
+        shipped a private nearest-rank variant, so the same run could
+        print two different p95s).  Empty samples yield NaN, which
+        :meth:`to_row` serialises as ``None``.
+        """
+        from repro.util.stats import percentile
+
+        return percentile(self.latencies_ms, fraction * 100.0)
 
     @property
     def latency_p50_ms(self) -> float:
@@ -121,16 +128,24 @@ class ConcurrentRunResult:
         comparison against a sequential replay."""
         return Counter(self.answers.values())
 
-    def to_row(self) -> dict[str, float]:
-        """JSON-safe summary row (answers elided)."""
+    def to_row(self) -> dict[str, float | None]:
+        """JSON-safe summary row (answers elided).
+
+        Non-finite latency percentiles (a zero-query run has no samples,
+        so they are NaN) become ``None`` — strict-JSON safe, so writers
+        can use ``json.dumps(..., allow_nan=False)``.
+        """
+        def _finite(value: float) -> float | None:
+            return round(value, 3) if math.isfinite(value) else None
+
         return {
             "threads": self.threads,
             "queries": self.queries,
             "epochs": self.epochs,
             "wall_seconds": round(self.wall_seconds, 6),
             "throughput_qps": round(self.throughput_qps, 3),
-            "latency_p50_ms": round(self.latency_p50_ms, 3),
-            "latency_p95_ms": round(self.latency_p95_ms, 3),
+            "latency_p50_ms": _finite(self.latency_p50_ms),
+            "latency_p95_ms": _finite(self.latency_p95_ms),
             "applied_ops": self.applied_ops,
             "admissions_skipped": self.admissions_skipped,
         }

@@ -119,10 +119,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config = GCConfig.from_dict({
                 "query_type": args.query_type, "matcher": args.matcher,
                 "workers": args.workers,
+                "worker_backend": args.worker_backend,
             })
             runner = MethodMRunner(store, make_matcher(config.matcher),
                                    query_type=config.query_type,
-                                   workers=config.workers)
+                                   workers=config.workers,
+                                   backend=config.worker_backend)
         else:
             config = GCConfig.from_dict({
                 "model": args.model,
@@ -133,6 +135,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "window_capacity": args.window_capacity,
                 "retro_budget": args.retro_budget,
                 "workers": args.workers,
+                "worker_backend": args.worker_backend,
                 # The session cap must fit the worker fan-out; lock_mode
                 # "auto" upgrades to the RW lock on the first session().
                 "max_sessions": max(args.concurrency,
@@ -418,6 +421,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "cache_capacity": args.cache_capacity,
             "window_capacity": args.window_capacity,
             "workers": args.workers,
+            "worker_backend": args.worker_backend,
             "lock_mode": "rw",
             "max_sessions": args.max_sessions,
             "snapshot_path": (str(args.snapshot_path)
@@ -514,6 +518,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="Mverifier worker threads (1 = sequential "
                           "reference path; answers are identical either "
                           "way)")
+    run.add_argument("--worker-backend", choices=("thread", "process"),
+                     default="thread",
+                     help="Mverifier pool flavour for --workers > 1: "
+                          "'thread' (GIL-bound for pure-Python matchers) "
+                          "or 'process' (replica-holding worker "
+                          "processes; answers are identical either way)")
     run.add_argument("--concurrency", type=int, default=1, metavar="N",
                      help="serve the workload from N worker threads "
                           "sharing one cache (needs a cache model; "
@@ -584,6 +594,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window-capacity", type=int, default=20)
     serve.add_argument("--workers", type=int, default=1,
                        help="Mverifier worker threads per pipeline")
+    serve.add_argument("--worker-backend", choices=("thread", "process"),
+                       default="thread",
+                       help="Mverifier pool flavour for --workers > 1 "
+                            "(see 'run --worker-backend')")
     serve.add_argument("--max-sessions", type=int, default=8,
                        help="concurrent request pipelines (the session "
                             "pool size)")

@@ -35,7 +35,9 @@ from repro.persist.snapshot import (
     config_fingerprint,
     dataset_fingerprint,
     decode_snapshot,
+    decode_store,
     encode_snapshot,
+    encode_store,
     load_snapshot,
     save_snapshot,
 )
@@ -55,6 +57,8 @@ __all__ = [
     "dataset_fingerprint",
     "encode_snapshot",
     "decode_snapshot",
+    "encode_store",
+    "decode_store",
     "save_snapshot",
     "load_snapshot",
 ]

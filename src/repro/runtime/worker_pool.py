@@ -1,0 +1,330 @@
+"""Worker/IPC substrate for the process Mverifier backend.
+
+:class:`~repro.runtime.method_m.ProcessMethodM` keeps a pool of
+**persistent** worker processes, each holding a read-only dataset
+replica and a private matcher instance.  This module is the plumbing:
+the worker loop, the pool handle the parent drives, and the change-plan
+delta builder that keeps replicas current without ever re-shipping the
+full store.
+
+Why processes are shaped this way
+---------------------------------
+* **Spawn, not fork.**  The parent holds live threads and locks (the
+  cache RW lock, session threads, a possible thread-pool verifier);
+  forking clones them mid-state.  The ``spawn`` start method boots a
+  clean interpreter, so :func:`worker_main` must be importable by
+  reference — which is why it lives at module level here and not as a
+  closure inside the pool.
+* **Replicas are seeded once** over the snapshot/graph codec
+  (:func:`repro.persist.encode_store` → :func:`repro.persist.decode_store`)
+  and then advanced by **incremental deltas** built from the dataset's
+  update log — the same cursor-based incremental reads the consistency
+  protocol uses (Algorithm 1).  A dataset that churns 0.05% per epoch
+  ships 0.05% of its bytes, not 100%.
+* **Pipes are FIFO**, so a delta sent before a verify is applied before
+  that verify runs; deltas therefore need no acknowledgement round-trip.
+  A delta that fails to apply poisons the worker, and the *next* verify
+  reports the stored error instead of silently diverging.
+
+Answers cross the boundary as ``BitSet.to_hex`` strings plus the logical
+size — the exact encoding the snapshot codec uses for indicators — and
+are OR-merged by the parent, so the fold is bit-identical to the
+sequential reference for any chunking.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Sequence
+from multiprocessing.connection import Connection
+from typing import Any
+
+from repro.dataset.log import OpType
+from repro.dataset.store import GraphStore
+from repro.graphs import io as graph_io
+from repro.util.bitset import BitSet
+
+__all__ = ["WorkerError", "WorkerPool", "build_delta", "worker_main"]
+
+#: One replica change: ("add", gid, tve_text) | ("del", gid) |
+#: ("ua", gid, u, v) | ("ur", gid, u, v).  Plain tuples, so a delta
+#: pickles without importing any repro module in the reducer.
+DeltaOp = tuple[Any, ...]
+
+#: Seconds a closing pool waits per worker before terminating it.
+_JOIN_TIMEOUT = 5.0
+
+
+class WorkerError(RuntimeError):
+    """A worker process failed (seed error, poisoned replica, dead pipe)."""
+
+
+# ----------------------------------------------------------------------
+# Parent side: delta construction
+# ----------------------------------------------------------------------
+def build_delta(store: GraphStore, cursor: int) -> list[DeltaOp]:
+    """Replica ops for every log record past ``cursor``, compressed.
+
+    The slice is compressed against the store's *current* state:
+
+    * an ADD whose graph is still live ships the graph as it is **now**
+      (one ``t/v/e`` text), so UA/UR records later in the slice are
+      skipped for it — they are already baked in;
+    * an ADD whose graph has since been deleted is a *phantom*: the add,
+      its edge updates and its DEL are all dropped (the replica never
+      learns the id existed — exactly like a live reader that joined
+      after the delete);
+    * UA/UR on graphs the replica already holds replay verbatim — graph
+      vertex ids are dense, the codec's vertex remap is the identity, so
+      parent edge endpoints are valid replica endpoints.
+
+    Determinism: the result is a pure function of (log slice, current
+    store state); no set iteration, no clocks, no randomness — every
+    worker applies the identical op sequence.
+    """
+    ops: list[DeltaOp] = []
+    shipped_current: set[int] = set()  # ADDed this slice, shipped as-is
+    phantom: set[int] = set()          # ADDed and DELed within the slice
+    for record in store.log.records_since(cursor):
+        gid = record.graph_id
+        if record.op is OpType.ADD:
+            if gid in store:
+                ops.append(("add", gid, graph_io.dumps([(gid, store.get(gid))])))
+                shipped_current.add(gid)
+            else:
+                phantom.add(gid)
+        elif record.op is OpType.DEL:
+            if gid in phantom:
+                continue
+            # A graph shipped as current cannot see a DEL later in the
+            # slice (it would not be live now), so no guard is needed.
+            ops.append(("del", gid))
+        else:  # UA / UR
+            if gid in phantom or gid in shipped_current:
+                continue
+            assert record.edge is not None  # LogRecord invariant
+            u, v = record.edge
+            kind = "ua" if record.op is OpType.UA else "ur"
+            ops.append((kind, gid, u, v))
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _apply_delta(graphs: dict[int, Any], ops: Sequence[DeltaOp]) -> None:
+    for op in ops:
+        kind = op[0]
+        if kind == "add":
+            ((gid, graph),) = graph_io.loads(op[2])
+            graphs[gid] = graph
+        elif kind == "del":
+            del graphs[op[1]]
+        elif kind == "ua":
+            graphs[op[1]].add_edge(op[2], op[3])
+        elif kind == "ur":
+            graphs[op[1]].remove_edge(op[2], op[3])
+        else:
+            raise ValueError(f"unknown delta op {kind!r}")
+
+
+def worker_main(conn: Connection) -> None:
+    """One worker process: replica + matcher, driven over ``conn``.
+
+    Messages (all tuples; the first element is the command):
+
+    * ``("seed", matcher_name, store_text)`` → replies ``("ok",)`` or
+      ``("err", msg)``.  Surfaces import/codec failures at startup, not
+      on the first query.
+    * ``("delta", ops)`` → no reply (FIFO ordering stands in for an
+      ack); a failure poisons the worker.
+    * ``("verify", query_text, ids, size, subgraph_semantics)`` →
+      ``("result", answer_hex, tests, (d_tests, d_states, d_found))``
+      or ``("err", msg)``.
+    * ``("close",)`` → worker exits.  EOF on the pipe exits too, so an
+      abruptly dying parent never leaves orphans looping.
+    """
+    matcher = None
+    graphs: dict[int, Any] = {}
+    poisoned: str | None = None
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        cmd = msg[0]
+        if cmd == "close":
+            conn.close()
+            return
+        try:
+            if cmd == "seed":
+                from repro.matching import make_matcher
+                from repro.persist import decode_store
+
+                matcher = make_matcher(msg[1])
+                graphs = dict(decode_store(msg[2]))
+                poisoned = None
+                conn.send(("ok",))
+            elif cmd == "delta":
+                if poisoned is None:
+                    _apply_delta(graphs, msg[1])
+            elif cmd == "verify":
+                if poisoned is not None:
+                    conn.send(("err", f"replica poisoned: {poisoned}"))
+                    continue
+                if matcher is None:
+                    conn.send(("err", "verify before seed"))
+                    continue
+                _, query_text, ids, size, subgraph_semantics = msg
+                ((_, query),) = graph_io.loads(query_text)
+                before = matcher.stats.snapshot()
+                answer = BitSet(size)
+                tests = 0
+                is_sub = matcher.is_subgraph_isomorphic
+                for gid in ids:
+                    host = graphs.get(gid)
+                    if host is None:
+                        continue  # deleted: mirrors the sequential skip
+                    tests += 1
+                    if subgraph_semantics:
+                        hit = is_sub(query, host)
+                    else:
+                        hit = is_sub(host, query)
+                    if hit:
+                        answer.set(gid)
+                after = matcher.stats
+                conn.send(("result", answer.to_hex(), tests,
+                           (after.tests - before.tests,
+                            after.states - before.states,
+                            after.found - before.found)))
+            else:
+                conn.send(("err", f"unknown command {cmd!r}"))
+        except Exception as exc:  # report, never crash the loop
+            poisoned = f"{type(exc).__name__}: {exc}"
+            if cmd in ("seed", "verify"):
+                try:
+                    conn.send(("err", poisoned))
+                except OSError:
+                    return  # parent is gone
+
+
+# ----------------------------------------------------------------------
+# Parent side: the pool handle
+# ----------------------------------------------------------------------
+class WorkerPool:
+    """Persistent Mverifier worker processes with seeded replicas.
+
+    Not thread-safe by itself: :class:`ProcessMethodM` serialises all
+    access under its IPC lock.  The pool owns the processes — callers
+    must :meth:`close` (idempotent) to reap them.
+    """
+
+    def __init__(self, workers: int, matcher_name: str,
+                 start_method: str = "spawn") -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.matcher_name = matcher_name
+        self._ctx = multiprocessing.get_context(start_method)
+        self._procs: list[Any] = []
+        self._conns: list[Connection] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self, store_text: str) -> None:
+        """Spawn the workers and seed every replica; blocks until each
+        worker acknowledged its seed (so codec or matcher-registry
+        failures surface here, not mid-query)."""
+        if self._procs:
+            raise RuntimeError("pool already started")
+        self._closed = False
+        for index in range(self.workers):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            proc = self._ctx.Process(
+                target=worker_main, args=(child_conn,),
+                name=f"mverifier-{index}", daemon=True,
+            )
+            proc.start()
+            child_conn.close()  # the worker holds the only child end now
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        for index, conn in enumerate(self._conns):
+            conn.send(("seed", self.matcher_name, store_text))
+        for index, conn in enumerate(self._conns):
+            reply = self._recv(index)
+            if reply[0] != "ok":
+                detail = reply[1] if len(reply) > 1 else reply
+                raise WorkerError(f"worker {index} failed to seed: {detail}")
+
+    def broadcast_delta(self, ops: Sequence[DeltaOp]) -> None:
+        """Ship one change-plan epoch to every replica (no ack — pipe
+        FIFO ordering applies it before any later verify)."""
+        if not ops:
+            return
+        for conn in self._conns:
+            conn.send(("delta", list(ops)))
+
+    def verify(self, query_text: str, chunks: Sequence[Sequence[int]],
+               size: int, subgraph_semantics: bool,
+               ) -> list[tuple[str, int, tuple[int, int, int]]]:
+        """Dispatch one candidate chunk per worker; collect in chunk
+        order.  Returns ``(answer_hex, tests, stats_delta)`` per chunk."""
+        if len(chunks) > len(self._conns):
+            raise ValueError(
+                f"{len(chunks)} chunks for {len(self._conns)} workers"
+            )
+        for index, chunk in enumerate(chunks):
+            self._conns[index].send(
+                ("verify", query_text, list(chunk), size, subgraph_semantics)
+            )
+        results: list[tuple[str, int, tuple[int, int, int]]] = []
+        failure: WorkerError | None = None
+        for index in range(len(chunks)):
+            reply = self._recv(index)
+            if reply[0] == "result":
+                results.append((reply[1], reply[2], reply[3]))
+            elif failure is None:
+                detail = reply[1] if len(reply) > 1 else reply
+                failure = WorkerError(f"worker {index}: {detail}")
+        if failure is not None:
+            raise failure
+        return results
+
+    def _recv(self, index: int) -> tuple[Any, ...]:
+        try:
+            reply = self._conns[index].recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerError(
+                f"worker {index} ({self._procs[index].name}) died: "
+                f"exitcode={self._procs[index].exitcode}"
+            ) from exc
+        if not isinstance(reply, tuple) or not reply:
+            raise WorkerError(f"worker {index} sent malformed reply {reply!r}")
+        return reply
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the workers down (idempotent): polite close message,
+        bounded join, terminate stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass  # worker already gone
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_TIMEOUT)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._procs)} live"
+        return (f"WorkerPool(workers={self.workers}, "
+                f"matcher={self.matcher_name!r}, {state})")

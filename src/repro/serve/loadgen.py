@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import math
 import random
 import socket
 import threading
@@ -43,7 +44,29 @@ from repro.serve.wire import graph_to_wire
 from repro.util.stats import percentile
 from repro.util.zipf import DEFAULT_ALPHA, ZipfSampler
 
-__all__ = ["LoadgenConfig", "LoadgenReport", "run_loadgen"]
+__all__ = ["LoadgenConfig", "LoadgenReport", "run_loadgen",
+           "summarize_latencies"]
+
+
+def summarize_latencies(latencies: list[float]) -> dict[str, float | None]:
+    """p50/p95/p99/max over per-request latencies (seconds), in ms.
+
+    Strict-JSON safe: a zero-sample run yields ``None`` for every
+    quantile instead of NaN — ``json.dumps`` happily emits the
+    JavaScript-only literal ``NaN`` by default, which then breaks every
+    standards-compliant consumer of ``BENCH_serve.json``.  Writers can
+    (and do) pass ``allow_nan=False`` to make that structurally
+    impossible.
+    """
+    def _ms(value: float) -> float | None:
+        return value * 1000.0 if math.isfinite(value) else None
+
+    return {
+        "p50": _ms(percentile(latencies, 50.0)),
+        "p95": _ms(percentile(latencies, 95.0)),
+        "p99": _ms(percentile(latencies, 99.0)),
+        "max": _ms(max(latencies)) if latencies else None,
+    }
 
 
 @dataclass(frozen=True)
@@ -86,7 +109,9 @@ class LoadgenReport:
     errors: int
     hits: int
     hit_rate: float
-    latency_ms: dict[str, float] = field(default_factory=dict)
+    #: Quantiles from :func:`summarize_latencies`; ``None`` marks a
+    #: quantile with no samples behind it (never NaN).
+    latency_ms: dict[str, float | None] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -298,10 +323,5 @@ def run_loadgen(host: str, port: int, queries: list[LabeledGraph],
         hits=recorder.hits,
         hit_rate=(recorder.hits / recorder.queries
                   if recorder.queries else 0.0),
-        latency_ms={
-            "p50": percentile(latencies, 50.0) * 1000.0,
-            "p95": percentile(latencies, 95.0) * 1000.0,
-            "p99": percentile(latencies, 99.0) * 1000.0,
-            "max": max(latencies) * 1000.0 if latencies else float("nan"),
-        },
+        latency_ms=summarize_latencies(latencies),
     )

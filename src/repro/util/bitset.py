@@ -127,15 +127,22 @@ class BitSet:
         return bool((self._bits >> index) & 1)
 
     def set(self, index: int, value: bool = True) -> None:
-        """Write bit ``index``, growing the logical size if needed."""
+        """Write bit ``index``; setting a bit grows the logical size.
+
+        Clearing never grows it (Java ``BitSet.clear`` semantics): a bit
+        beyond the logical size already reads False, so clearing it is a
+        no-op and must not widen the indicator space — snapshots encode
+        ``size`` alongside the hex payload, and a spurious grow would
+        change every codec round-trip after an out-of-range clear.
+        """
         if index < 0:
             raise IndexError(f"bit index must be non-negative, got {index}")
         if value:
             self._bits |= 1 << index
+            if index >= self._size:
+                self._size = index + 1
         else:
             self._bits &= ~(1 << index)
-        if index >= self._size:
-            self._size = index + 1
 
     def clear(self) -> None:
         """Unset every bit (logical size is retained)."""

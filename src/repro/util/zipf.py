@@ -46,9 +46,17 @@ class ZipfSampler:
         self._total = self._cumulative[-1]
 
     def sample(self) -> int:
-        """Draw one rank in ``[0, n)``."""
+        """Draw one rank in ``[0, n)``.
+
+        The clamp guards the inverse-CDF boundary: if ``u`` lands
+        exactly on the cumulative total (``random() * total == total``
+        is reachable in float arithmetic for an RNG emitting values
+        arbitrarily close to 1.0, and for injected test doubles
+        returning 1.0), ``bisect_left`` would report ``n`` — one past
+        the last rank.
+        """
         u = self._rng.random() * self._total
-        return bisect.bisect_left(self._cumulative, u)
+        return min(bisect.bisect_left(self._cumulative, u), self.n - 1)
 
     def sample_many(self, count: int) -> list[int]:
         """Draw ``count`` i.i.d. ranks."""

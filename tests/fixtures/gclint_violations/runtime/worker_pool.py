@@ -1,0 +1,24 @@
+"""Seeded determinism violations in a worker/IPC-shaped module (never
+imported).
+
+The real ``repro/runtime/worker_pool.py`` must stay deterministic: a
+wall-clock read or an unseeded RNG inside the worker loop would make
+replica deltas and chunk dispatch diverge between runs (and between the
+parent and its replicas).  This fixture mirrors that module's path
+segment so the ``runtime`` scoping of GC201/GC202 is pinned by tests.
+"""
+
+import random
+import time
+
+
+def stamp_delta(ops):
+    # GC201: wall-clock read in a core runtime path — replica deltas
+    # must be a pure function of the log slice, never of time.
+    return (time.time(), ops)
+
+
+def pick_worker(chunks):
+    # GC202: unseeded global RNG deciding dispatch — chunk assignment
+    # must be deterministic for bit-identical fold-back.
+    return int(random.random() * len(chunks))

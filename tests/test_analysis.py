@@ -68,6 +68,8 @@ class TestSeededViolations:
         ("GC102", "cache/manager.py"),    # read→write upgrade
         ("GC103", "cache/manager.py"),    # hook emission under lock
         ("GC202", "cache/manager.py"),    # random.random() in cache/
+        ("GC201", "runtime/worker_pool.py"),  # wall clock in worker/IPC path
+        ("GC202", "runtime/worker_pool.py"),  # unseeded RNG in dispatch
         ("GC301", "persist/state.py"),    # codec-drift field
         ("GC401", "persist/writer.py"),   # swallowed broad except
         ("GC501", "api/surface.py"),      # phantom __all__ export

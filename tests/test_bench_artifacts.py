@@ -1,0 +1,86 @@
+"""Bench-artifact semantics: one percentile definition, strict JSON.
+
+PR 9's latent-bug sweep found two artifact corruptions:
+
+* ``ConcurrentRunResult.latency_percentile_ms`` reimplemented
+  nearest-rank percentile while ``repro.util.stats.percentile`` is
+  linear-interpolation, so the same latencies printed two different
+  p95s depending on which code path reported them.  The project-wide
+  definition is **linear interpolation between closest ranks**; this
+  file pins it for both call sites.
+* the serve loadgen wrote literal ``NaN`` into ``BENCH_serve.json``
+  when a run produced zero samples — ``json.dumps`` emits the
+  JavaScript-only ``NaN`` token unless ``allow_nan=False``, and every
+  standards-compliant consumer then rejects the artifact.  All bench
+  writers now pass ``allow_nan=False``; these tests prove the rows they
+  serialise can never trip it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.bench.concurrent import ConcurrentRunResult
+from repro.serve.loadgen import summarize_latencies
+from repro.util.stats import percentile
+
+
+def _result(latencies_ms: list[float]) -> ConcurrentRunResult:
+    return ConcurrentRunResult(
+        threads=2, queries=len(latencies_ms), epochs=1,
+        wall_seconds=1.0, latencies_ms=latencies_ms, answers={},
+    )
+
+
+class TestPercentileUnification:
+    def test_linear_interpolation_is_the_one_definition(self):
+        # Nearest-rank on [1,2,3,4] gives p50=3 (rank ceil(0.5*4)); the
+        # project definition interpolates: 2.5.  This is the pin that
+        # keeps the two reporters from drifting apart again.
+        result = _result([1.0, 2.0, 3.0, 4.0])
+        assert result.latency_percentile_ms(0.50) == 2.5
+        assert result.latency_percentile_ms(0.50) == percentile(
+            result.latencies_ms, 50.0)
+
+    def test_p95_matches_util_stats(self):
+        latencies = [float(x) for x in range(1, 42)]
+        result = _result(latencies)
+        assert result.latency_p95_ms == percentile(latencies, 95.0)
+        assert result.latency_p50_ms == percentile(latencies, 50.0)
+
+    def test_empty_is_nan_not_zero(self):
+        # The old nearest-rank variant silently reported 0.0 for an
+        # empty run — indistinguishable from a genuinely instant query.
+        assert math.isnan(_result([]).latency_percentile_ms(0.5))
+
+
+class TestStrictJsonRows:
+    def test_zero_sample_row_serialises_with_allow_nan_false(self):
+        row = _result([]).to_row()
+        assert row["latency_p50_ms"] is None
+        assert row["latency_p95_ms"] is None
+        json.dumps(row, allow_nan=False)  # must not raise
+
+    def test_populated_row_keeps_numbers(self):
+        row = _result([1.0, 2.0, 3.0, 4.0]).to_row()
+        assert row["latency_p50_ms"] == 2.5
+        json.dumps(row, allow_nan=False)
+
+
+class TestLoadgenSummary:
+    def test_zero_sample_summary_is_strict_json_safe(self):
+        summary = summarize_latencies([])
+        assert summary == {"p50": None, "p95": None, "p99": None,
+                           "max": None}
+        json.dumps(summary, allow_nan=False)  # the old code emitted NaN
+
+    def test_summary_reports_milliseconds(self):
+        summary = summarize_latencies([0.010, 0.020, 0.030])
+        assert summary["p50"] == pytest.approx(20.0)
+        assert summary["max"] == pytest.approx(30.0)
+        assert summary["p95"] == pytest.approx(
+            percentile([0.010, 0.020, 0.030], 95.0) * 1000.0)
+        json.dumps(summary, allow_nan=False)

@@ -89,6 +89,32 @@ class TestSingleBit:
         b = BitSet(3)
         assert not b.get(100)
 
+    def test_clearing_beyond_size_never_grows(self):
+        # Regression (PR 9): set(i, False) past the logical size used to
+        # widen _size to i+1 — Java BitSet.clear never grows, and a
+        # spurious grow changes the size every snapshot encodes next to
+        # the indicator hex.
+        b = BitSet.from_indices([0, 2])
+        b.set(50, False)
+        assert b.size == 3
+        assert not b.get(50)
+
+    def test_clear_bit_within_size_keeps_size(self):
+        b = BitSet.from_indices([0, 4])
+        b.set(2, False)
+        assert b.size == 5
+
+    def test_snapshot_codec_size_stable_after_oob_clear(self):
+        # The logical size is half the hex round-trip contract: an
+        # out-of-range clear must leave from_hex(to_hex(), size) exact.
+        b = BitSet.from_indices([1, 3])
+        before = (b.to_hex(), b.size)
+        b.set(99, False)
+        assert (b.to_hex(), b.size) == before
+        round_tripped = BitSet.from_hex(b.to_hex(), b.size)
+        assert round_tripped == b
+        assert round_tripped.size == 4
+
     def test_negative_index_rejected(self):
         b = BitSet(3)
         with pytest.raises(IndexError):

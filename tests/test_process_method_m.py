@@ -1,0 +1,324 @@
+"""ProcessMethodM: the multiprocessing Mverify backend (PR 9 tentpole).
+
+Everything here pins the backend's one hard promise — **bit-identical
+answers and test counts to the sequential reference** — plus the replica
+machinery that promise rests on: codec seeding, incremental delta
+compression (phantom adds, shipped-current edge folding), cost-balanced
+chunk invariants, and the sequential fallbacks that keep correctness
+ahead of parallelism.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api.config import GCConfig, WORKER_BACKENDS
+from repro.api.service import GraphCacheService
+from repro.cache.entry import QueryType
+from repro.dataset.store import GraphStore
+from repro.graphs.generators import random_labeled_graph
+from repro.matching import make_matcher
+from repro.matching.base import SubgraphMatcher
+from repro.runtime.method_m import (
+    MethodM,
+    ProcessMethodM,
+    _split_chunks,
+    _split_chunks_balanced,
+    make_method_m,
+)
+from repro.runtime.worker_pool import build_delta
+
+ALPHABET = ["A", "B", "C"]
+
+
+def _graph(rng: random.Random, n: int):
+    return random_labeled_graph(n, 0.4, ALPHABET, rng)
+
+
+def _population(seed: int, count: int = 25) -> list:
+    rng = random.Random(seed)
+    return [_graph(rng, rng.randint(3, 10)) for _ in range(count)]
+
+
+def _absent_edge(graph) -> tuple[int, int]:
+    """Some vertex pair the graph does not already connect."""
+    present = set(graph.edges()) | {(v, u) for u, v in graph.edges()}
+    for u in range(graph.num_vertices):
+        for v in range(u + 1, graph.num_vertices):
+            if (u, v) not in present:
+                return u, v
+    raise AssertionError("graph is complete; use a sparser generator")
+
+
+@pytest.fixture(scope="module")
+def pm_fixture():
+    """One module-scoped pool (spawn costs ~0.3s/worker on small boxes)
+    shared by the read-only equivalence tests."""
+    store = GraphStore.from_graphs(_population(101))
+    seq = make_method_m(make_matcher("vf2+"), store, 1)
+    proc = make_method_m(make_matcher("vf2+"), store, 3, backend="process")
+    yield store, seq, proc
+    proc.close()
+    seq.close()
+
+
+def _assert_equivalent(seq, proc, store, query,
+                       query_type=QueryType.SUBGRAPH):
+    candidates = store.ids_bitset()
+    seq_answer, seq_tests = seq.verify(query, candidates, query_type)
+    proc_answer, proc_tests = proc.verify(query, candidates, query_type)
+    assert proc_answer.to_hex() == seq_answer.to_hex()
+    assert proc_answer.size == seq_answer.size
+    assert proc_tests == seq_tests
+
+
+class TestBitIdenticalAnswers:
+    def test_subgraph_answers_and_test_counts(self, pm_fixture):
+        store, seq, proc = pm_fixture
+        rng = random.Random(7)
+        for _ in range(5):
+            _assert_equivalent(seq, proc, store, _graph(rng, rng.randint(2, 4)))
+
+    def test_supergraph_semantics(self, pm_fixture):
+        store, seq, proc = pm_fixture
+        query = _graph(random.Random(8), 9)
+        _assert_equivalent(seq, proc, store, query, QueryType.SUPERGRAPH)
+
+    def test_primary_stats_fold_matches_sequential(self, pm_fixture):
+        store, seq, proc = pm_fixture
+        query = _graph(random.Random(9), 3)
+        seq.matcher.stats.reset()
+        proc.matcher.stats.reset()
+        candidates = store.ids_bitset()
+        seq.verify(query, candidates, QueryType.SUBGRAPH)
+        proc.verify(query, candidates, QueryType.SUBGRAPH)
+        assert proc.matcher.stats.tests == seq.matcher.stats.tests
+        assert proc.matcher.stats.found == seq.matcher.stats.found
+
+
+class TestDeltaSync:
+    """Replicas must track every mutation class without a reseed."""
+
+    def _fresh(self):
+        store = GraphStore.from_graphs(_population(202, count=15))
+        seq = make_method_m(make_matcher("vf2+"), store, 1)
+        proc = make_method_m(make_matcher("vf2+"), store, 2,
+                             backend="process")
+        return store, seq, proc
+
+    def test_all_mutation_classes(self):
+        store, seq, proc = self._fresh()
+        rng = random.Random(31)
+        query = _graph(rng, 3)
+        try:
+            _assert_equivalent(seq, proc, store, query)  # seeds replicas
+
+            gid = store.add_graph(_graph(rng, 7))
+            # shipped-current: this UA gets folded into the ADD text
+            store.add_edge(gid, *_absent_edge(store.get(gid)))
+            ghost = store.add_graph(_graph(rng, 5))
+            store.delete_graph(ghost)      # phantom: never reaches replicas
+            store.delete_graph(2)
+            edge = next(iter(store.get(3).edges()))
+            store.remove_edge(3, *edge)
+            store.add_edge(3, *edge)
+
+            _assert_equivalent(seq, proc, store, query)
+            # A second verify with no new log records must also agree
+            # (the cursor check short-circuits; nothing is re-shipped).
+            _assert_equivalent(seq, proc, store, query)
+        finally:
+            proc.close()
+            seq.close()
+
+    def test_sync_replicas_rejects_foreign_store(self):
+        store, seq, proc = self._fresh()
+        try:
+            with pytest.raises(ValueError, match="different GraphStore"):
+                proc.sync_replicas(GraphStore.from_graphs(_population(303)))
+            proc.sync_replicas()            # no-op before pool start
+            proc.sync_replicas(store)       # the seeded store is fine
+        finally:
+            proc.close()
+            seq.close()
+
+
+class TestBuildDelta:
+    def test_phantom_add_is_fully_dropped(self):
+        store = GraphStore.from_graphs(_population(404, count=4))
+        cursor = store.log.last_seq
+        rng = random.Random(1)
+        ghost = store.add_graph(_graph(rng, 6))
+        store.add_edge(ghost, *_absent_edge(store.get(ghost)))
+        store.delete_graph(ghost)
+        ops = build_delta(store, cursor)
+        assert ops == []  # the replica never learns the id existed
+
+    def test_shipped_current_folds_edge_ops(self):
+        store = GraphStore.from_graphs(_population(405, count=4))
+        cursor = store.log.last_seq
+        rng = random.Random(2)
+        gid = store.add_graph(_graph(rng, 6))
+        store.add_edge(gid, *_absent_edge(store.get(gid)))
+        ops = build_delta(store, cursor)
+        assert [op[0] for op in ops] == ["add"]  # UA folded into the text
+        assert ops[0][1] == gid
+
+    def test_plain_ops_replay_verbatim(self):
+        store = GraphStore.from_graphs(_population(406, count=4))
+        cursor = store.log.last_seq
+        edge = next(iter(store.get(0).edges()))
+        store.remove_edge(0, *edge)
+        store.delete_graph(1)
+        ops = build_delta(store, cursor)
+        assert ops == [("ur", 0, *edge), ("del", 1)]
+
+
+class TestBalancedChunks:
+    """Same invariants as _split_chunks, with cost-aware cut points."""
+
+    @pytest.mark.parametrize("n,workers", [(1, 4), (7, 3), (16, 4),
+                                           (5, 8), (100, 7)])
+    def test_partition_invariants(self, n, workers):
+        rng = random.Random(n * 31 + workers)
+        ids = list(range(n))
+        costs = [rng.uniform(0.5, 50.0) for _ in ids]
+        chunks = _split_chunks_balanced(ids, costs, workers)
+        assert [i for chunk in chunks for i in chunk] == ids  # contiguous
+        assert len(chunks) <= workers
+        assert all(len(chunk) > 0 for chunk in chunks)
+        # Deterministic: same inputs, same partition.
+        assert chunks == _split_chunks_balanced(ids, costs, workers)
+
+    def test_zero_total_cost_falls_back_to_count_split(self):
+        ids = list(range(10))
+        assert (_split_chunks_balanced(ids, [0.0] * 10, 3)
+                == _split_chunks(ids, 3))
+
+    def test_one_heavy_item_does_not_starve_the_rest(self):
+        ids = list(range(10))
+        costs = [1000.0] + [1.0] * 9
+        chunks = _split_chunks_balanced(ids, costs, 4)
+        # The heavy head must sit alone; the cheap tail spreads out.
+        assert chunks[0] == [0]
+        assert len(chunks) > 1
+
+    def test_empty_input(self):
+        assert _split_chunks_balanced([], [], 4) == []
+
+
+class _StatefulMatcher(SubgraphMatcher):
+    """Unregistered matcher: no by-name clone exists for it."""
+
+    name = "stateful-test-only"
+
+    def _decide(self, query, host) -> bool:
+        return query.num_vertices <= host.num_vertices
+
+
+class TestFallbacksAndValidation:
+    def test_unregistered_matcher_runs_sequentially(self):
+        store = GraphStore.from_graphs(_population(505, count=6))
+        pm = make_method_m(_StatefulMatcher(), store, 4, backend="process")
+        assert isinstance(pm, ProcessMethodM)
+        assert pm._clone_name is None
+        query = _graph(random.Random(3), 3)
+        answer, tests = pm.verify(query, store.ids_bitset(),
+                                  QueryType.SUBGRAPH)
+        assert tests == 6
+        assert pm._pool is None  # no processes were ever spawned
+        pm.close()
+
+    def test_workers_one_is_plain_sequential(self):
+        store = GraphStore.from_graphs(_population(506, count=3))
+        pm = make_method_m(make_matcher("vf2+"), store, 1,
+                           backend="process")
+        assert type(pm) is MethodM
+        pm.close()
+
+    def test_unknown_backend_rejected(self):
+        store = GraphStore.from_graphs(_population(507, count=3))
+        with pytest.raises(ValueError, match="worker backend"):
+            make_method_m(make_matcher("vf2+"), store, 2, backend="greenlet")
+
+    def test_process_backend_rejects_matcher_factory(self):
+        store = GraphStore.from_graphs(_population(508, count=3))
+        with pytest.raises(ValueError, match="matcher_factory"):
+            make_method_m(make_matcher("vf2+"), store, 2,
+                          matcher_factory=lambda: make_matcher("vf2+"),
+                          backend="process")
+
+    def test_close_is_idempotent(self, pm_fixture):
+        store, _, _ = pm_fixture
+        pm = make_method_m(make_matcher("vf2"), store, 2, backend="process")
+        pm.close()
+        pm.close()  # second close must be a no-op, not an error
+
+
+class TestConfigWiring:
+    def test_config_validates_and_round_trips(self):
+        config = GCConfig(workers=4, worker_backend="PROCESS")
+        assert config.worker_backend == "process"
+        assert config.to_dict()["worker_backend"] == "process"
+        assert GCConfig.from_dict(config.to_dict()) == config
+
+    def test_config_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="worker_backend"):
+            GCConfig(worker_backend="fork")
+        assert WORKER_BACKENDS == {"thread", "process"}
+
+    def test_backend_excluded_from_snapshot_fingerprint(self):
+        from repro.persist import FINGERPRINT_FIELDS, config_fingerprint
+
+        assert "worker_backend" not in FINGERPRINT_FIELDS
+        thread = GCConfig(workers=4, worker_backend="thread")
+        process = GCConfig(workers=4, worker_backend="process")
+        assert config_fingerprint(thread) == config_fingerprint(process)
+
+
+class TestServiceIntegration:
+    def test_service_answers_match_sequential_reference(self):
+        dataset = _population(606, count=20)
+        rng = random.Random(42)
+        queries = [_graph(rng, rng.randint(2, 4)) for _ in range(8)]
+
+        def run(config: GCConfig) -> list[frozenset[int]]:
+            store = GraphStore.from_graphs(dataset)
+            service = GraphCacheService(store, config)
+            answers = []
+            try:
+                for index, query in enumerate(queries):
+                    if index == 3:
+                        mut_rng = random.Random(99)
+                        store.add_graph(_graph(mut_rng, 6))
+                        store.delete_graph(0)
+                    answers.append(service.execute(query).answer_ids)
+            finally:
+                service.close()
+            return answers
+
+        reference = run(GCConfig(model="con", workers=1))
+        parallel = run(GCConfig(model="con", workers=3,
+                                worker_backend="process"))
+        assert parallel == reference
+
+    def test_service_wires_epoch_listener(self):
+        store = GraphStore.from_graphs(_population(607, count=5))
+        service = GraphCacheService(
+            store, GCConfig(workers=2, worker_backend="process"))
+        try:
+            assert (service.cache.epoch_listener
+                    == service.method_m.sync_replicas)
+        finally:
+            service.close()
+        assert service.cache.epoch_listener is None
+
+    def test_thread_backend_has_no_epoch_listener(self):
+        store = GraphStore.from_graphs(_population(608, count=5))
+        service = GraphCacheService(store, GCConfig(workers=2))
+        try:
+            assert service.cache.epoch_listener is None
+        finally:
+            service.close()

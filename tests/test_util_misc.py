@@ -68,6 +68,26 @@ class TestZipf:
         s = ZipfSampler(1, alpha=alpha, rng=random.Random(n))
         assert s.sample() == 0
 
+    @given(st.integers(2, 100), st.floats(0.3, 3.0))
+    def test_inverse_cdf_boundary_u_on_cumulative_total(self, n, alpha):
+        """When ``u`` lands exactly on the cumulative total (an RNG
+        emitting 1.0, or float rounding at the top of the CDF),
+        ``bisect_left`` alone reports ``n`` — one past the last rank.
+        Regression for the clamp in ``ZipfSampler.sample``."""
+
+        class _Extremes(random.Random):
+            def __init__(self) -> None:
+                super().__init__(0)
+                self._values = iter([1.0, 0.0, 0.999999999999999])
+
+            def random(self) -> float:
+                return next(self._values)
+
+        s = ZipfSampler(n, alpha=alpha, rng=_Extremes())
+        assert s.sample() == n - 1   # u == total: clamp to the last rank
+        assert s.sample() == 0       # u == 0: first rank
+        assert 0 <= s.sample() < n   # just below 1.0 stays in range
+
 
 class TestMeanPercentile:
     def test_mean(self):
@@ -178,6 +198,35 @@ class TestRunningStats:
         assert math.isclose(a.variance, c.variance, rel_tol=1e-6,
                             abs_tol=1e-6)
         assert a.minimum == c.minimum and a.maximum == c.maximum
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=60),
+        st.lists(st.integers(0, 7), min_size=1, max_size=60),
+    )
+    def test_multiway_merge_equals_single_fold(self, data, labels):
+        """Chan's algorithm over an arbitrary K-way partition must agree
+        with one accumulator folding the whole stream — the shape the
+        process Mverifier backend relies on when per-worker counters are
+        folded back into the primary."""
+        partitions: dict[int, RunningStats] = {}
+        for value, label in zip(data, labels):
+            partitions.setdefault(label % 4, RunningStats()).add(value)
+        merged = RunningStats()
+        for part in partitions.values():
+            merged.merge(part)
+        direct = RunningStats()
+        for value in data[:len(labels)]:
+            direct.add(value)
+        assert merged.count == direct.count
+        if direct.count:
+            assert math.isclose(merged.mean, direct.mean,
+                                rel_tol=1e-9, abs_tol=1e-7)
+            assert math.isclose(merged.variance, direct.variance,
+                                rel_tol=1e-6, abs_tol=1e-6)
+            assert merged.minimum == direct.minimum
+            assert merged.maximum == direct.maximum
+            assert math.isclose(merged.total, direct.total,
+                                rel_tol=1e-9, abs_tol=1e-7)
 
     def test_merge_with_empty(self):
         a = RunningStats()
