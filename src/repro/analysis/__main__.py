@@ -4,12 +4,20 @@ Exit status: 0 when no ERROR-severity findings survive pragma and
 baseline suppression, 1 otherwise, 2 for usage errors.  ``--fail-on
 warning`` promotes warnings to gate failures; ``--json`` writes the
 machine-readable report CI uploads as an artifact.
+
+``--changed-only`` keeps the *analysis* project-wide (cross-file rules
+like GC301/GC310 and the interprocedural lock-state pass stay sound)
+but reports only findings in files git considers changed — worktree,
+index, untracked, and (with ``--diff-base REF``) the merge-base diff
+against ``REF``.  If git is unavailable the run falls back to the full
+tree rather than silently passing.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -37,6 +45,7 @@ def _report_json(report: AnalysisReport) -> dict[str, object]:
                 "severity": f.severity.value,
                 "path": f.path,
                 "line": f.line,
+                "col": f.col,
                 "message": f.message,
                 "fingerprint": f.fingerprint,
             }
@@ -46,12 +55,58 @@ def _report_json(report: AnalysisReport) -> dict[str, object]:
     return {
         "tool": "gclint",
         "modules_checked": report.modules_checked,
+        "reported_paths": sorted({f.path for f in report.findings}),
         "errors": len(report.errors),
         "warnings": len(report.warnings),
         "findings": rows(report.findings),
         "suppressed": rows(report.suppressed),
         "baselined": rows(report.baselined),
     }
+
+
+def _changed_files(diff_base: str | None) -> set[Path] | None:
+    """Absolute paths git considers changed, or ``None`` (= analyze
+    everything) when git is unusable here."""
+    commands = [
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "diff", "--name-only", "--cached"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ]
+    if diff_base:
+        commands.append(["git", "diff", "--name-only",
+                         f"{diff_base}...HEAD"])
+    try:
+        root = Path(subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True,
+        ).stdout.strip())
+        changed: set[Path] = set()
+        for command in commands:
+            result = subprocess.run(command, capture_output=True,
+                                    text=True, check=True)
+            for line in result.stdout.splitlines():
+                if line.strip():
+                    changed.add((root / line.strip()).resolve())
+        return changed
+    except (OSError, subprocess.CalledProcessError) as exc:
+        detail = exc.stderr.strip() if isinstance(
+            exc, subprocess.CalledProcessError) and exc.stderr else exc
+        print(f"gclint: --changed-only needs git ({detail}); "
+              f"falling back to the full tree", file=sys.stderr)
+        return None
+
+
+def _write_lock_graph(paths: Sequence[str | Path], target: str) -> None:
+    """Emit the lock-acquisition-order DOT graph for the analyzed tree
+    (the CI artifact reviewers eyeball for ordering regressions)."""
+    from repro.analysis.core import collect_modules
+    from repro.analysis.lockstate import get_index
+
+    modules, _parse_errors = collect_modules(paths)
+    scoped = [module for module in modules
+              if not module.relpath.endswith("util/rwlock.py")]
+    index = get_index(scoped)
+    Path(target).write_text(index.to_dot(), encoding="utf-8")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -81,6 +136,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                              "(default: error)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule registry and exit")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="analyze the full tree but report findings "
+                             "only in files git sees as changed")
+    parser.add_argument("--diff-base", metavar="REF", default=None,
+                        help="with --changed-only, also treat files in "
+                             "the merge-base diff against REF as changed "
+                             "(CI: origin/<base branch>)")
+    parser.add_argument("--lock-graph", metavar="PATH", default=None,
+                        help="write the lock-acquisition-order graph of "
+                             "the analyzed tree as DOT to PATH")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -103,6 +168,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
 
     report = run_analysis(args.paths, baseline_fingerprints=fingerprints)
+
+    if args.lock_graph:
+        _write_lock_graph(args.paths, args.lock_graph)
+
+    if args.changed_only:
+        changed = _changed_files(args.diff_base)
+        if changed is not None:
+            report = AnalysisReport(
+                findings=[f for f in report.findings
+                          if Path(f.path).resolve() in changed],
+                suppressed=report.suppressed,
+                baselined=report.baselined,
+                modules_checked=report.modules_checked,
+            )
 
     if args.update_baseline:
         write_baseline(args.baseline, report.findings)

@@ -70,6 +70,10 @@ class Finding:
     #: The source line the finding anchors to, used for the stable
     #: fingerprint so baselines survive unrelated edits above them.
     source_line: str = ""
+    #: 1-based column, 0 when the rule has no sub-line precision.  NOT
+    #: part of the fingerprint — formatting churn must not invalidate
+    #: baselines.
+    col: int = 0
 
     @property
     def fingerprint(self) -> str:
@@ -79,7 +83,10 @@ class Finding:
         return hashlib.sha256(basis.encode("utf-8")).hexdigest()[:16]
 
     def render(self) -> str:
-        return (f"{self.path}:{self.line}: {self.rule_id} "
+        location = f"{self.path}:{self.line}"
+        if self.col:
+            location += f":{self.col}"
+        return (f"{location}: {self.rule_id} "
                 f"[{self.severity.value}] {self.message}")
 
 
@@ -214,11 +221,11 @@ class Rule:
                        for suffix in self.exclude_suffixes)
 
     def finding(self, module: ParsedModule, line: int,
-                message: str) -> Finding:
+                message: str, col: int = 0) -> Finding:
         return Finding(
             rule_id=self.rule_id, slug=self.slug, severity=self.severity,
             path=module.relpath, line=line, message=message,
-            source_line=module.source_line(line),
+            source_line=module.source_line(line), col=col,
         )
 
 

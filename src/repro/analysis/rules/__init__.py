@@ -12,6 +12,11 @@ from repro.analysis.rules.api_surface import (
     DeprecatedFacadeCallSites,
     DunderAllIntegrity,
 )
+from repro.analysis.rules.concurrency import (
+    BlockingCallUnderLock,
+    LockOrderCycle,
+    UnguardedSharedMutation,
+)
 from repro.analysis.rules.determinism import (
     HashOrderDependence,
     UnseededRandomness,
@@ -24,6 +29,7 @@ from repro.analysis.rules.locks import (
     ReadToWriteUpgrade,
     WriteCallUnderReadLock,
 )
+from repro.analysis.rules.protocol import WorkerProtocolDrift
 
 __all__ = ["default_rules"]
 
@@ -34,10 +40,14 @@ def default_rules() -> list[Rule]:
         WriteCallUnderReadLock(),
         ReadToWriteUpgrade(),
         HookUnderLock(),
+        LockOrderCycle(),
+        BlockingCallUnderLock(),
+        UnguardedSharedMutation(),
         WallClockInCore(),
         UnseededRandomness(),
         HashOrderDependence(),
         SnapshotCodecDrift(),
+        WorkerProtocolDrift(),
         BroadExcept(),
         DunderAllIntegrity(),
         DeprecatedFacadeCallSites(),

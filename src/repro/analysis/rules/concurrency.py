@@ -1,0 +1,311 @@
+"""Interprocedural concurrency rules (gclint v2 tentpole).
+
+All three rules share one :class:`~repro.analysis.lockstate.ConcurrencyIndex`
+over the scoped module set — CFG + call graph + lock-state fixpoint —
+so the project pays for the flow analysis once per run:
+
+* **GC110** ``lock-order`` — cycles in the lock-acquisition-order graph
+  (lock A held while acquiring B on one chain, B while acquiring A on
+  another), plus read→write upgrade paths that only exist across call
+  edges (the intraprocedural case is GC102's).
+* **GC111** ``blocking-under-lock`` — pipe/socket I/O, file I/O,
+  snapshot encode/decode, ``time.sleep`` or ``subprocess`` reachable
+  while the *write* side of an RWLock may be held.  Write holds starve
+  every reader and writer in the process; blocking under a read hold or
+  a plain mutex is this codebase's sanctioned serving/serialisation
+  model and stays legal.
+* **GC120** ``unguarded-mutation`` — assignments to attributes of the
+  shared-state classes (``CacheManager``/``StatisticsMonitor``/
+  ``QueryIndex``) on paths where no write lock or mutex is provably
+  held.  A heuristic race detector for exactly the interleavings the
+  runtime tests cannot drive.
+
+The three rules carry identical scoping on purpose: the scoped module
+list is then identical for each, and :func:`get_index` hands all three
+the same cached index.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from repro.analysis.core import (
+    Finding,
+    ParsedModule,
+    ProjectRule,
+    Severity,
+    dotted_name,
+)
+from repro.analysis.lockstate import (
+    MUTEX,
+    READ,
+    WRITE,
+    ConcurrencyIndex,
+    get_index,
+    may_pairs,
+)
+
+__all__ = ["LockOrderCycle", "BlockingCallUnderLock",
+           "UnguardedSharedMutation", "TRACKED_SHARED_CLASSES"]
+
+#: Shared-state classes whose attributes demand a lock to mutate.
+TRACKED_SHARED_CLASSES = frozenset({
+    "CacheManager", "StatisticsMonitor", "QueryIndex",
+})
+
+#: Constructors may wire attributes before the object is shared.
+_CONSTRUCTION_FUNCS = frozenset({"__init__", "__post_init__", "__new__"})
+
+#: Attribute tails that denote an inherently blocking call.
+_BLOCKING_ATTRS: dict[str, str] = {
+    "send": "pipe/socket send", "recv": "pipe/socket recv",
+    "send_bytes": "pipe send", "recv_bytes": "pipe recv",
+    "sendall": "socket send", "accept": "socket accept",
+    "connect": "socket connect",
+    "write_text": "file write", "read_text": "file read",
+    "write_bytes": "file write", "read_bytes": "file read",
+}
+
+#: Call names (bare or dotted tail) that block regardless of receiver.
+_BLOCKING_NAMES: dict[str, str] = {
+    "open": "file open",
+    "save_snapshot": "snapshot write", "load_snapshot": "snapshot read",
+}
+
+#: Exact dotted prefixes that block.
+_BLOCKING_EXACT: dict[str, str] = {
+    "time.sleep": "sleep",
+    "os.replace": "atomic file replace", "os.rename": "file rename",
+    "os.fsync": "fsync",
+}
+_BLOCKING_MODULE_PREFIXES: tuple[tuple[str, str], ...] = (
+    ("subprocess.", "subprocess"),
+    ("shutil.", "file copy/move"),
+)
+
+
+def _blocking_kind(call: ast.Call) -> str | None:
+    """Human label when ``call`` is an inherently blocking primitive."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    label = _BLOCKING_EXACT.get(dotted)
+    if label is not None:
+        return label
+    for prefix, pref_label in _BLOCKING_MODULE_PREFIXES:
+        if dotted.startswith(prefix):
+            return pref_label
+    tail = dotted.split(".")[-1]
+    if "." in dotted:
+        label = _BLOCKING_ATTRS.get(tail)
+        if label is not None:
+            return label
+    label = _BLOCKING_NAMES.get(tail)
+    if label is not None:
+        return label
+    return None
+
+
+class _FlowRule(ProjectRule):
+    """Shared scoping so all three rules hit the same index cache line."""
+
+    exclude_suffixes = ("util/rwlock.py",)
+
+    @staticmethod
+    def _index(modules: Sequence[ParsedModule]) -> ConcurrencyIndex:
+        return get_index(modules)
+
+
+class LockOrderCycle(_FlowRule):
+    rule_id = "GC110"
+    slug = "lock-order"
+    severity = Severity.ERROR
+    description = ("lock-acquisition-order cycle, or a read→write "
+                   "upgrade path that spans call edges")
+
+    def check_project(self,
+                      modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        index = self._index(modules)
+        by_rel = {module.relpath: module for module in modules}
+
+        for cycle in index.lock_order_cycles():
+            order = " → ".join([edge.held for edge in cycle]
+                               + [cycle[0].held])
+            witnesses = "; ".join(
+                f"{edge.held} ({edge.held_mode}) held while acquiring "
+                f"{edge.acquired} ({edge.acquired_mode}) at "
+                f"{edge.path}:{edge.line}"
+                for edge in cycle
+            )
+            anchor = min(cycle, key=lambda e: (e.path, e.line))
+            module = by_rel.get(anchor.path)
+            if module is None:
+                continue
+            yield self.finding(
+                module, anchor.line,
+                f"lock-order cycle {order}: two call chains acquire "
+                f"these locks in opposite orders and can deadlock — "
+                f"{witnesses}",
+            )
+
+        # Upgrades that only exist across call edges: a function that
+        # takes the write side while some caller chain already holds the
+        # read side of the same lock.  (Local upgrades are GC102's.)
+        for qualname in sorted(index.flows):
+            flow = index.flows[qualname]
+            entry = index.may_entry.get(qualname, frozenset())
+            for acq in flow.acquisitions:
+                if acq.mode != WRITE:
+                    continue
+                local = may_pairs(acq.state_before)
+                if (acq.lock_id, READ) in local:
+                    continue        # intraprocedural — GC102 reports it
+                if (acq.lock_id, READ) not in entry:
+                    continue
+                if (acq.lock_id, WRITE) in (local | entry):
+                    continue        # write-reentrant path: legal
+                module = by_rel.get(flow.info.module.relpath)
+                if module is None:
+                    continue
+                chain = index.entry_chain(qualname, (acq.lock_id, READ))
+                via = (" via " + " ← ".join(chain)) if chain else ""
+                yield self.finding(
+                    module, acq.line,
+                    f"read→write upgrade across calls: "
+                    f"`{_short(qualname)}` acquires `{acq.lock_id}` "
+                    f"write while a caller already holds its read "
+                    f"side{via}; RWLock deadlocks/raises on upgrade — "
+                    f"release the read hold before entering the write "
+                    f"path",
+                    col=acq.col,
+                )
+
+
+class BlockingCallUnderLock(_FlowRule):
+    rule_id = "GC111"
+    slug = "blocking-under-lock"
+    severity = Severity.ERROR
+    description = ("blocking primitive (pipe/file I/O, sleep, "
+                   "subprocess, snapshot codec) reachable while a "
+                   "write lock is held")
+
+    def check_project(self,
+                      modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        index = self._index(modules)
+        by_rel = {module.relpath: module for module in modules}
+        for qualname in sorted(index.flows):
+            flow = index.flows[qualname]
+            module = by_rel.get(flow.info.module.relpath)
+            if module is None:
+                continue
+            entry = index.may_entry.get(qualname, frozenset())
+            for call, state in flow.calls:
+                kind = _blocking_kind(call)
+                if kind is None:
+                    continue
+                held = may_pairs(state) | entry
+                write_locks = sorted(lock for lock, mode in held
+                                     if mode == WRITE)
+                if not write_locks:
+                    continue
+                lock = write_locks[0]
+                if (lock, WRITE) in may_pairs(state):
+                    where = f"inside the `{lock}` write region"
+                else:
+                    chain = index.entry_chain(qualname, (lock, WRITE))
+                    via = " ← ".join(chain) if chain else "a caller"
+                    where = (f"while `{lock}` write is held by {via}")
+                yield self.finding(
+                    module, call.lineno,
+                    f"blocking {kind} call "
+                    f"`{ast.unparse(call.func)}(...)` in "
+                    f"`{_short(qualname)}` {where}; a write hold "
+                    f"starves every reader — do the I/O outside the "
+                    f"lock (snapshot pattern: capture under write, "
+                    f"serialise after release)",
+                    col=call.col_offset + 1,
+                )
+
+
+class UnguardedSharedMutation(_FlowRule):
+    rule_id = "GC120"
+    slug = "unguarded-mutation"
+    severity = Severity.ERROR
+    description = ("attribute of a shared-state class mutated on a "
+                   "path where no write lock or mutex is provably held")
+
+    def check_project(self,
+                      modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        index = self._index(modules)
+        by_rel = {module.relpath: module for module in modules}
+        for qualname in sorted(index.flows):
+            flow = index.flows[qualname]
+            if flow.info.name in _CONSTRUCTION_FUNCS:
+                continue
+            module = by_rel.get(flow.info.module.relpath)
+            if module is None:
+                continue
+            for stmt, state in flow.stmt_states:
+                for attr in _mutated_attrs(stmt):
+                    owner = index.owner_of(qualname, attr)
+                    if owner is None or \
+                            owner[0] not in TRACKED_SHARED_CLASSES:
+                        continue
+                    held = index.must_held(qualname, state)
+                    if held is None:
+                        continue    # ⊤: no caller the graph resolves
+                    if any(mode in (WRITE, MUTEX) for _lock, mode in held):
+                        continue
+                    yield self.finding(
+                        module, attr.lineno,
+                        f"`{ast.unparse(attr)}` ({owner[0]} shared "
+                        f"state) is mutated in `{_short(qualname)}` "
+                        f"with no write lock or mutex provably held on "
+                        f"every path; guard the mutation (e.g. `with "
+                        f"{_guard_hint(owner[0])}:`) or move it into "
+                        f"construction",
+                        col=attr.col_offset + 1,
+                    )
+
+
+def _guard_hint(owner_short: str) -> str:
+    if owner_short == "StatisticsMonitor":
+        return "monitor._mutex"
+    return "cache.lock.write()"
+
+
+def _mutated_attrs(stmt: ast.stmt) -> list[ast.Attribute]:
+    """Attribute expressions a statement assigns/augments/deletes —
+    including the root attribute of subscript stores
+    (``obj.table[k] = v`` mutates ``obj.table``)."""
+    targets: list[ast.expr] = []
+    if isinstance(stmt, ast.Assign):
+        targets = list(stmt.targets)
+    elif isinstance(stmt, ast.AugAssign):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = list(stmt.targets)
+    out: list[ast.Attribute] = []
+    while targets:
+        target = targets.pop(0)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            targets.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            targets.append(target.value)
+        elif isinstance(target, ast.Attribute):
+            out.append(target)
+        elif isinstance(target, ast.Subscript):
+            inner = target.value
+            while isinstance(inner, ast.Subscript):
+                inner = inner.value
+            if isinstance(inner, ast.Attribute):
+                out.append(inner)
+    return out
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else qualname

@@ -15,16 +15,26 @@ enforces:
   deferring ``event_listener``/``_emit`` indirection and runs after
   release (GC103).
 
-All three are syntactic: a ``with`` item calling ``.read()``/``.write()``
-on a receiver whose dotted path mentions ``lock`` opens a lock region;
-nested ``def``/``lambda``/``class`` bodies reset the region (they run
-later, not under the lock).
+Since gclint v2 these run on the lock-state dataflow engine
+(:mod:`repro.analysis.lockstate`) instead of a lexical ``with``-stack
+walk.  The rules keep their ids and intent but gain path sensitivity:
+
+* a ``while True: acquire/…/release`` loop with balanced explicit lock
+  calls no longer reads as "still holding" after the release;
+* a read hold *nested inside* a write hold of the same path no longer
+  counts as "read context" for GC101 — RWLock permits read-under-write;
+* explicit ``acquire_write()`` under a read hold is caught even when
+  the read hold came from an aliased lock object
+  (``lock = self.cache.lock``).
+
+The rules stay intraprocedural on purpose: cross-function reasoning
+(inherited holds, lock-order cycles) belongs to GC110/GC111/GC120.
 """
 
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterator
 
 from repro.analysis.core import (
     Finding,
@@ -33,6 +43,7 @@ from repro.analysis.core import (
     Severity,
     dotted_name,
 )
+from repro.analysis.lockstate import READ, WRITE, module_flows, pairs_of
 
 __all__ = ["WriteCallUnderReadLock", "ReadToWriteUpgrade", "HookUnderLock"]
 
@@ -55,17 +66,13 @@ HOOK_NAMES = frozenset({
 })
 
 
-def _lock_mode(item: ast.withitem) -> str | None:
-    """``"read"``/``"write"`` when the with-item acquires a lock."""
-    expr = item.context_expr
-    if not (isinstance(expr, ast.Call) and
-            isinstance(expr.func, ast.Attribute) and
-            expr.func.attr in ("read", "write")):
-        return None
-    receiver = dotted_name(expr.func.value)
-    if receiver is None or "lock" not in receiver.lower():
-        return None
-    return expr.func.attr
+def _call_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
 
 
 def _receiver_text(call: ast.Call) -> str:
@@ -77,71 +84,13 @@ def _receiver_text(call: ast.Call) -> str:
     return ""
 
 
-class _LockRegionVisitor(ast.NodeVisitor):
-    """Walks one module tracking the innermost enclosing lock region."""
-
-    def __init__(self) -> None:
-        self.stack: list[str] = []   # "read" / "write" regions, outermost first
-        self.events: list[tuple[str, ast.Call | ast.withitem]] = []
-
-    # New execution scopes do not inherit the lexical lock region.
-    def _visit_scope(self, node: ast.AST) -> None:
-        saved, self.stack = self.stack, []
-        self.generic_visit(node)
-        self.stack = saved
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._visit_scope(node)
-
-    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._visit_scope(node)
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        self._visit_scope(node)
-
-    def visit_ClassDef(self, node: ast.ClassDef) -> None:
-        self._visit_scope(node)
-
-    def visit_With(self, node: ast.With) -> None:
-        modes = [mode for item in node.items
-                 if (mode := _lock_mode(item)) is not None]
-        if "write" in modes and "read" in self.stack:
-            item = next(item for item in node.items
-                        if _lock_mode(item) == "write")
-            self.events.append(("upgrade", item.context_expr))
-        self.stack.extend(modes)
-        self.generic_visit(node)
-        del self.stack[len(self.stack) - len(modes):]
-
-    visit_AsyncWith = visit_With
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if self.stack:
-            func = node.func
-            name = (func.attr if isinstance(func, ast.Attribute)
-                    else func.id if isinstance(func, ast.Name) else None)
-            if name in HOOK_NAMES:
-                self.events.append(("hook", node))
-            elif self.stack[-1] == "read":
-                if name in WRITE_SIDE_METHODS:
-                    self.events.append(("write-call", node))
-                elif (name in AMBIGUOUS_WRITE_METHODS
-                        and "cache" in _receiver_text(node).lower()):
-                    self.events.append(("write-call", node))
-            if (isinstance(func, ast.Attribute)
-                    and func.attr == "acquire_write"
-                    and "read" in self.stack):
-                self.events.append(("upgrade", node))
-        self.generic_visit(node)
+class _LockRuleBase(ModuleRule):
+    #: The RWLock implementation itself is the mechanism these rules
+    #: protect clients of; its internals are exempt by construction.
+    exclude_suffixes = ("util/rwlock.py",)
 
 
-def _scan(module: ParsedModule) -> list[tuple[str, ast.AST]]:
-    visitor = _LockRegionVisitor()
-    visitor.visit(module.tree)
-    return visitor.events
-
-
-class WriteCallUnderReadLock(ModuleRule):
+class WriteCallUnderReadLock(_LockRuleBase):
     rule_id = "GC101"
     slug = "write-under-read-lock"
     severity = Severity.ERROR
@@ -149,39 +98,59 @@ class WriteCallUnderReadLock(ModuleRule):
                    "`with lock.read():` region")
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
-        for kind, node in _scan(module):
-            if kind != "write-call":
-                continue
-            call = ast.unparse(node.func) if isinstance(node, ast.Call) else "?"
-            yield self.finding(
-                module, node.lineno,
-                f"`{call}(...)` is write-side (self-acquires the write "
-                f"lock) but is called inside a read-lock region; move it "
-                f"after the read hold is released "
-                f"(docs/concurrency.md)",
-            )
+        index = module_flows(module)
+        for flow in index.flows.values():
+            for call, state in flow.calls:
+                name = _call_name(call)
+                if name in WRITE_SIDE_METHODS:
+                    pass
+                elif (name in AMBIGUOUS_WRITE_METHODS
+                        and "cache" in _receiver_text(call).lower()):
+                    pass
+                else:
+                    continue
+                # Path-sensitive: some path must hold a read lock with
+                # no write hold alongside it (read-under-write is legal,
+                # so a write-holding stack licenses the call).
+                if not any(
+                    any(mode == READ for _lock, mode, _tag in stack)
+                    and not any(mode == WRITE for _lock, mode, _tag in stack)
+                    for stack in state
+                ):
+                    continue
+                target = ast.unparse(call.func)
+                yield self.finding(
+                    module, call.lineno,
+                    f"`{target}(...)` is write-side (self-acquires the "
+                    f"write lock) but is called inside a read-lock "
+                    f"region; move it after the read hold is released "
+                    f"(docs/concurrency.md)",
+                    col=call.col_offset + 1,
+                )
 
 
-class ReadToWriteUpgrade(ModuleRule):
+class ReadToWriteUpgrade(_LockRuleBase):
     rule_id = "GC102"
     slug = "read-write-upgrade"
     severity = Severity.ERROR
-    description = ("write-lock acquisition lexically inside a read-lock "
-                   "region (upgrade deadlock)")
+    description = ("write-lock acquisition on a path already holding "
+                   "the read side (upgrade deadlock)")
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
-        for kind, node in _scan(module):
-            if kind != "upgrade":
-                continue
-            yield self.finding(
-                module, node.lineno,
-                "read→write lock upgrade: RWLock raises on this pattern "
-                "by design; restructure so the write phase starts after "
-                "the read hold ends (docs/concurrency.md)",
-            )
+        index = module_flows(module)
+        for flow in index.flows.values():
+            for lock_id, line, col in flow.upgrades:
+                yield self.finding(
+                    module, line,
+                    f"read→write lock upgrade on `{lock_id}`: RWLock "
+                    f"raises on this pattern by design; restructure so "
+                    f"the write phase starts after the read hold ends "
+                    f"(docs/concurrency.md)",
+                    col=col,
+                )
 
 
-class HookUnderLock(ModuleRule):
+class HookUnderLock(_LockRuleBase):
     rule_id = "GC103"
     slug = "hook-under-lock"
     severity = Severity.ERROR
@@ -189,14 +158,23 @@ class HookUnderLock(ModuleRule):
                    "emission must defer until release")
 
     def check(self, module: ParsedModule) -> Iterator[Finding]:
-        for kind, node in _scan(module):
-            if kind != "hook":
-                continue
-            call = ast.unparse(node.func) if isinstance(node, ast.Call) else "?"
-            yield self.finding(
-                module, node.lineno,
-                f"`{call}(...)` runs a cache-event hook inside a lock "
-                f"region; user hooks may re-enter the service and "
-                f"deadlock — buffer through the deferred-event scope "
-                f"instead (GraphCacheService._event_scope)",
-            )
+        index = module_flows(module)
+        for flow in index.flows.values():
+            for call, state in flow.calls:
+                if _call_name(call) not in HOOK_NAMES:
+                    continue
+                if not any(
+                    any(mode in (READ, WRITE) for mode in
+                        (m for _lock, m in pairs_of(stack)))
+                    for stack in state
+                ):
+                    continue
+                target = ast.unparse(call.func)
+                yield self.finding(
+                    module, call.lineno,
+                    f"`{target}(...)` runs a cache-event hook inside a "
+                    f"lock region; user hooks may re-enter the service "
+                    f"and deadlock — buffer through the deferred-event "
+                    f"scope instead (GraphCacheService._event_scope)",
+                    col=call.col_offset + 1,
+                )

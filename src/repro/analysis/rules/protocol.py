@@ -1,0 +1,336 @@
+"""Worker-protocol drift rule (GC310 — the GC301 mold, for IPC).
+
+The process-Mverify backend speaks a hand-rolled pipe protocol: plain
+tuples whose first element is a string tag (``"seed"``, ``"delta"``,
+``"verify"``, ``"close"`` parent→worker; ``"ok"``, ``"err"``,
+``"result"`` worker→parent).  Nothing at runtime checks that a tag sent
+on one side has a dispatch arm on the other, or that both sides agree
+on tuple arity — a mismatch surfaces as a poisoned replica or an
+``IndexError`` three layers deep, long after the edit that caused it.
+
+GC310 closes that loop statically, pairing each ``*Pool`` class (parent
+side) with the nearest module-level ``worker*`` function (worker side)
+by common path prefix, exactly how GC301 pairs dataclasses with codecs:
+
+* every tag a side sends must have an explicit dispatch arm on the
+  receiving side — except error-ish tags (``"err"``/``"error"``), which
+  may land in a default/else arm by convention;
+* a tag must be sent with one arity (no site-to-site drift);
+* a dispatch arm must not read tuple elements past the sender's arity,
+  and a tuple-unpack of the message must match it exactly.
+
+Send sites are ``<conn>.send((<str literal>, …))`` calls; dispatch arms
+are ``==``/``!=``/``in`` tests against string literals on the received
+message's element 0 (directly, or via a ``cmd = msg[0]`` alias).
+Anything dynamic — computed tags, ``*args`` sends — is invisible to the
+rule and intentionally not guessed at.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.core import Finding, ParsedModule, ProjectRule, Severity
+
+__all__ = ["WorkerProtocolDrift"]
+
+#: Tags a default/else dispatch arm is the sanctioned handler for.
+ERRISH_TAGS = frozenset({"err", "error"})
+
+
+@dataclass(frozen=True)
+class _Send:
+    tag: str
+    arity: int
+    line: int
+
+
+@dataclass
+class _Arm:
+    """One explicit dispatch arm for a tag."""
+
+    tag: str
+    line: int
+    #: highest constant index read off the message tuple in the arm
+    #: body, or None when the body never subscripts it
+    max_index: int | None = None
+    #: arity of a ``a, b, c = msg`` unpack in the arm body, if any
+    unpack_arity: int | None = None
+
+
+@dataclass
+class _Side:
+    label: str
+    module: ParsedModule
+    line: int
+    sends: list[_Send] = field(default_factory=list)
+    arms: dict[str, _Arm] = field(default_factory=dict)
+    has_default_arm: bool = False
+
+
+def _send_of(call: ast.Call) -> tuple[str, int] | None:
+    """``conn.send(("tag", …))`` → (tag, tuple arity)."""
+    if not (isinstance(call.func, ast.Attribute)
+            and call.func.attr == "send"
+            and len(call.args) == 1
+            and not call.keywords):
+        return None
+    arg = call.args[0]
+    if not (isinstance(arg, ast.Tuple) and arg.elts):
+        return None
+    head = arg.elts[0]
+    if not (isinstance(head, ast.Constant) and isinstance(head.value, str)):
+        return None
+    return head.value, len(arg.elts)
+
+
+def _tag_test(test: ast.expr,
+              aliases: dict[str, str]) -> tuple[list[str], str, str] | None:
+    """Tag-dispatch test → (tags, kind ∈ {eq, ne, in}, message var)."""
+    if not (isinstance(test, ast.Compare)
+            and len(test.ops) == 1 and len(test.comparators) == 1):
+        return None
+    left, op, comp = test.left, test.ops[0], test.comparators[0]
+    var: str | None = None
+    if isinstance(left, ast.Name):
+        var = aliases.get(left.id)
+    elif (isinstance(left, ast.Subscript)
+            and isinstance(left.value, ast.Name)
+            and isinstance(left.slice, ast.Constant)
+            and left.slice.value == 0):
+        var = left.value.id
+    if var is None:
+        return None
+    if isinstance(op, (ast.Eq, ast.NotEq)) \
+            and isinstance(comp, ast.Constant) \
+            and isinstance(comp.value, str):
+        kind = "ne" if isinstance(op, ast.NotEq) else "eq"
+        return [comp.value], kind, var
+    if isinstance(op, ast.In) \
+            and isinstance(comp, (ast.Tuple, ast.List, ast.Set)):
+        tags = [e.value for e in comp.elts
+                if isinstance(e, ast.Constant) and isinstance(e.value, str)]
+        if tags:
+            return tags, "in", var
+    return None
+
+
+def _message_aliases(func: ast.AST) -> dict[str, str]:
+    """``cmd = msg[0]`` bindings: alias name → message variable."""
+    aliases: dict[str, str] = {}
+    for node in ast.walk(func):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and isinstance(node.value, ast.Subscript)
+                and isinstance(node.value.value, ast.Name)
+                and isinstance(node.value.slice, ast.Constant)
+                and node.value.slice.value == 0):
+            aliases[node.targets[0].id] = node.value.value.id
+    return aliases
+
+
+def _arm_accesses(body: list[ast.stmt], var: str) -> tuple[int | None,
+                                                           int | None]:
+    """(max constant subscript index, unpack arity) for ``var`` in an
+    arm body — how far into the tuple the receiver actually reads."""
+    max_index: int | None = None
+    unpack: int | None = None
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Subscript)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == var
+                    and isinstance(node.slice, ast.Constant)
+                    and isinstance(node.slice.value, int)):
+                index = node.slice.value
+                if max_index is None or index > max_index:
+                    max_index = index
+            elif (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Tuple)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == var):
+                unpack = len(node.targets[0].elts)
+    return max_index, unpack
+
+
+class _ArmCollector:
+    """Walks one function, recording dispatch arms and the default."""
+
+    def __init__(self, side: _Side, aliases: dict[str, str]) -> None:
+        self.side = side
+        self.aliases = aliases
+
+    def walk(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                self._visit_if(stmt)
+                continue
+            for block in ("body", "orelse", "finalbody"):
+                inner = getattr(stmt, block, None)
+                if isinstance(inner, list):
+                    self.walk([s for s in inner if isinstance(s, ast.stmt)])
+            for handler in getattr(stmt, "handlers", []):
+                self.walk(handler.body)
+
+    def _record(self, tags: list[str], line: int,
+                body: list[ast.stmt] | None, var: str) -> None:
+        for tag in tags:
+            if tag in self.side.arms:
+                continue
+            arm = _Arm(tag=tag, line=line)
+            if body is not None:
+                arm.max_index, arm.unpack_arity = _arm_accesses(body, var)
+            self.side.arms[tag] = arm
+
+    def _visit_if(self, node: ast.If) -> None:
+        matched = _tag_test(node.test, self.aliases)
+        if matched is None:
+            self.walk(node.body)
+            self.walk(node.orelse)
+            return
+        tags, kind, var = matched
+        if kind == "ne":
+            # ``if reply[0] != "ok": <error path>`` — the tag is handled
+            # (on the fall-through), everything else hits the body.
+            self._record(tags, node.test.lineno, None, var)
+            self.side.has_default_arm = True
+            self.walk(node.body)
+            self.walk(node.orelse)
+            return
+        self._record(tags, node.test.lineno, node.body, var)
+        orelse = node.orelse
+        if (len(orelse) == 1 and isinstance(orelse[0], ast.If)
+                and _tag_test(orelse[0].test, self.aliases) is not None):
+            self._visit_if(orelse[0])
+        elif orelse:
+            self.side.has_default_arm = True
+            self.walk(orelse)
+        # (an elif on a non-tag condition lands in the branch above:
+        # it is a default arm for dispatch purposes)
+
+
+def _scan_side(label: str, module: ParsedModule, line: int,
+               funcs: Sequence[ast.AST]) -> _Side:
+    side = _Side(label=label, module=module, line=line)
+    for func in funcs:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                sent = _send_of(node)
+                if sent is not None:
+                    side.sends.append(_Send(tag=sent[0], arity=sent[1],
+                                            line=node.lineno))
+        body = getattr(func, "body", None)
+        if isinstance(body, list):
+            _ArmCollector(side, _message_aliases(func)).walk(body)
+    return side
+
+
+def _common_prefix_len(a: str, b: str) -> int:
+    n = 0
+    for x, y in zip(Path(a).parts, Path(b).parts):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+class WorkerProtocolDrift(ProjectRule):
+    rule_id = "GC310"
+    slug = "protocol-drift"
+    severity = Severity.ERROR
+    description = ("worker IPC protocol drift: tag without a dispatch "
+                   "arm on the other side, or tuple-arity mismatch")
+
+    def check_project(self,
+                      modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        parents: list[_Side] = []
+        workers: list[_Side] = []
+        for module in modules:
+            pool_classes = [
+                stmt for stmt in module.tree.body
+                if isinstance(stmt, ast.ClassDef) and "Pool" in stmt.name
+            ]
+            for cls in pool_classes:
+                methods = [s for s in cls.body
+                           if isinstance(s, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef))]
+                parents.append(_scan_side(
+                    f"pool class {cls.name}", module, cls.lineno, methods))
+            worker_funcs = [
+                stmt for stmt in module.tree.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and "worker" in stmt.name
+            ]
+            if worker_funcs:
+                names = "/".join(f.name for f in worker_funcs)
+                workers.append(_scan_side(
+                    f"worker function {names}", module,
+                    worker_funcs[0].lineno, worker_funcs))
+
+        for parent in parents:
+            worker = self._paired(parent, workers)
+            if worker is None:
+                continue
+            yield from self._check_pair(parent, worker)
+            yield from self._check_pair(worker, parent)
+
+    @staticmethod
+    def _paired(parent: _Side, workers: list[_Side]) -> _Side | None:
+        if not workers:
+            return None
+        return max(workers, key=lambda w: _common_prefix_len(
+            parent.module.relpath, w.module.relpath))
+
+    def _check_pair(self, sender: _Side,
+                    receiver: _Side) -> Iterator[Finding]:
+        by_tag: dict[str, list[_Send]] = {}
+        for send in sender.sends:
+            by_tag.setdefault(send.tag, []).append(send)
+
+        for tag in sorted(by_tag):
+            sites = by_tag[tag]
+            arities = sorted({send.arity for send in sites})
+            if len(arities) > 1:
+                where = ", ".join(
+                    f"arity {send.arity} at line {send.line}"
+                    for send in sorted(sites, key=lambda s: s.line))
+                yield self.finding(
+                    sender.module, sites[0].line,
+                    f'protocol drift: tag "{tag}" is sent with '
+                    f"inconsistent tuple arity ({where}); every site "
+                    f"must agree or the receive side cannot unpack it",
+                )
+            arm = receiver.arms.get(tag)
+            if arm is None:
+                if tag in ERRISH_TAGS and receiver.has_default_arm:
+                    continue        # the else-arm convention for errors
+                yield self.finding(
+                    sender.module, sites[0].line,
+                    f'protocol drift: {sender.label} sends ("{tag}", …) '
+                    f"but {receiver.label} has no dispatch arm for "
+                    f'"{tag}" — the message would fall into the '
+                    f"unknown-command path",
+                )
+                continue
+            if len(arities) != 1:
+                continue            # arity already reported as drifting
+            arity = arities[0]
+            if arm.max_index is not None and arm.max_index >= arity:
+                yield self.finding(
+                    receiver.module, arm.line,
+                    f'protocol drift: dispatch arm for "{tag}" in '
+                    f"{receiver.label} reads tuple element "
+                    f"{arm.max_index}, but {sender.label} sends the tag "
+                    f"with arity {arity}",
+                )
+            if arm.unpack_arity is not None and arm.unpack_arity != arity:
+                yield self.finding(
+                    receiver.module, arm.line,
+                    f'protocol drift: dispatch arm for "{tag}" in '
+                    f"{receiver.label} unpacks the message into "
+                    f"{arm.unpack_arity} element(s), but {sender.label} "
+                    f"sends the tag with arity {arity}",
+                )

@@ -248,8 +248,12 @@ class GraphCacheService:
         with self._save_lock:
             pass
         self.method_m.close()
-        self.cache.event_listener = None
-        self.cache.epoch_listener = None
+        # Detach under the write lock: a concurrent query thread reads
+        # these listeners while emitting, and must see either the live
+        # hook or None — never a torn in-between.
+        with self.cache.lock.write():
+            self.cache.event_listener = None
+            self.cache.epoch_listener = None
         for hooks in self._hooks.values():
             hooks.clear()
 
@@ -347,7 +351,10 @@ class GraphCacheService:
     def _register(self, kind: CacheEventKind, hook: EventHook) -> EventHook:
         self._check_open()
         self._hooks[kind].append(hook)
-        self.cache.event_listener = self._dispatch_event
+        # Publish the listener under the write lock so a query thread
+        # mid-emission sees the attachment atomically.
+        with self.cache.lock.write():
+            self.cache.event_listener = self._dispatch_event
         return hook
 
     def on_admission(self, hook: EventHook) -> EventHook:

@@ -206,6 +206,7 @@ class QueryIndex:
         for bucket in self._buckets.values():
             for group in bucket.values():
                 group[2] = group[0] | all_guards
+        # gclint: allow[GC120] admission refreshes eagerly under the write lock, so the lazy lookup-side refresh only runs on a bare, unshared index
         self._guards_dirty = False
 
     def _pack_query(self, features: GraphFeatures) -> tuple[int, int, bool]:

@@ -22,3 +22,47 @@ def pick_worker(chunks):
     # GC202: unseeded global RNG deciding dispatch — chunk assignment
     # must be deterministic for bit-identical fold-back.
     return int(random.random() * len(chunks))
+
+
+class DriftPool:
+    """Parent side of a drifted pipe protocol (GC310 seeds)."""
+
+    def __init__(self, conns):
+        self._conns = conns
+
+    def dispatch(self, payload):
+        for conn in self._conns:
+            conn.send(("work", payload))
+
+    def broadcast_stats(self):
+        for conn in self._conns:
+            # GC310: worker_loop has no dispatch arm for "stats".
+            conn.send(("stats", 0))
+
+    def collect(self):
+        out = []
+        for conn in self._conns:
+            reply = conn.recv()
+            if reply[0] == "result":
+                # GC310: reads element 2, but the worker sends
+                # ("result", value) with arity 2 — index 2 is past it.
+                out.append((reply[1], reply[2]))
+            elif reply[0] == "err":
+                raise RuntimeError(reply[1])
+        return out
+
+    def close(self):
+        for conn in self._conns:
+            conn.send(("close",))
+
+
+def worker_loop(conn):
+    while True:
+        msg = conn.recv()
+        cmd = msg[0]
+        if cmd == "close":
+            return
+        if cmd == "work":
+            conn.send(("result", msg[1] + 1))
+        else:
+            conn.send(("err", f"unknown command {cmd!r}"))

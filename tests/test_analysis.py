@@ -74,6 +74,10 @@ class TestSeededViolations:
         ("GC401", "persist/writer.py"),   # swallowed broad except
         ("GC501", "api/surface.py"),      # phantom __all__ export
         ("GC502", "api/surface.py"),      # new deprecated-facade call site
+        ("GC110", "cache/ordering.py"),   # lock-order cycle + interproc upgrade
+        ("GC111", "cache/blocking.py"),   # blocking I/O under a write hold
+        ("GC120", "cache/raceable.py"),   # unguarded shared-state mutation
+        ("GC310", "runtime/worker_pool.py"),  # IPC tag/arity drift
     ])
     def test_each_seeded_violation_is_caught(self, fixture_report,
                                              rule_id, path_part):
@@ -331,9 +335,262 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert gclint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("GC101", "GC102", "GC103", "GC201", "GC202",
-                        "GC203", "GC301", "GC401", "GC501", "GC502"):
+        for rule_id in ("GC101", "GC102", "GC103", "GC110", "GC111",
+                        "GC120", "GC201", "GC202", "GC203", "GC301",
+                        "GC310", "GC401", "GC501", "GC502"):
             assert rule_id in out
+
+    def test_list_rules_reports_severity(self, capsys):
+        assert gclint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        # Every registry line carries its severity column.
+        lines = [ln for ln in out.splitlines() if ln.strip()]
+        assert lines and all("[error]" in ln or "[warning]" in ln
+                             for ln in lines)
+
+    def test_json_reports_column_and_paths(self, tmp_path, capsys):
+        _write(tmp_path, "cache/block.py", """\
+            class Manager:
+                def __init__(self, lock, conn):
+                    self.lock = lock
+                    self.conn = conn
+
+                def publish(self, payload):
+                    with self.lock.write():
+                        self.conn.send(payload)
+            """)
+        out = tmp_path / "report.json"
+        assert gclint_main([str(tmp_path), "--no-baseline",
+                            "--json", str(out)]) == 1
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        (row,) = payload["findings"]
+        assert row["rule"] == "GC111"
+        assert row["col"] == 13   # 1-based column of self.conn.send
+        assert payload["reported_paths"] == [
+            (tmp_path / "cache" / "block.py").as_posix()
+        ]
+
+    def test_lock_graph_emits_dot(self, tmp_path, capsys):
+        _write(tmp_path, "cache/two.py", """\
+            class Manager:
+                def __init__(self, lock, mutex):
+                    self.lock = lock
+                    self._mutex = mutex
+
+                def both(self):
+                    with self.lock.write():
+                        with self._mutex:
+                            return 1
+            """)
+        dot_path = tmp_path / "lock-graph.dot"
+        assert gclint_main([str(tmp_path), "--no-baseline",
+                            "--lock-graph", str(dot_path)]) == 0
+        dot = dot_path.read_text(encoding="utf-8")
+        assert dot.startswith("digraph lock_order")
+        assert '"Manager.lock" -> "Manager._mutex"' in dot
+
+
+class TestChangedOnly:
+    """--changed-only still analyzes the whole tree (project rules stay
+    sound) but reports only findings in files git sees as changed."""
+
+    VIOLATION = ("import random\n\n"
+                 "def draw():\n    return random.random()\n")
+
+    @staticmethod
+    def _git(tmp_path, *argv):
+        import subprocess
+        subprocess.run(
+            ["git", "-c", "user.name=t", "-c", "user.email=t@t", *argv],
+            cwd=tmp_path, check=True, capture_output=True,
+        )
+
+    @pytest.fixture()
+    def repo(self, tmp_path, monkeypatch):
+        import shutil
+        if shutil.which("git") is None:        # pragma: no cover
+            pytest.skip("git not available")
+        self._git(tmp_path, "init", "-q")
+        _write(tmp_path, "cache/old.py", self.VIOLATION)
+        _write(tmp_path, "cache/new.py", "def noop():\n    return 0\n")
+        self._git(tmp_path, "add", ".")
+        self._git(tmp_path, "commit", "-q", "-m", "seed")
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+
+    def test_reports_only_changed_files(self, repo, capsys):
+        # old.py's violation is committed and untouched; new.py gains
+        # one in the working tree.  Only new.py should be reported.
+        _write(repo, "cache/new.py", self.VIOLATION)
+        out = repo / "report.json"
+        assert gclint_main([str(repo), "--no-baseline", "--changed-only",
+                            "--json", str(out)]) == 1
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["reported_paths"] == [
+            (repo / "cache" / "new.py").as_posix()
+        ]
+
+    def test_diff_base_widens_to_the_branch(self, repo, capsys):
+        import subprocess
+        base = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=repo,
+            capture_output=True, text=True, check=True).stdout.strip()
+        _write(repo, "cache/new.py", self.VIOLATION)
+        self._git(repo, "add", ".")
+        self._git(repo, "commit", "-q", "-m", "branch work")
+        # Clean working tree: without --diff-base nothing is reported...
+        assert gclint_main([str(repo), "--no-baseline",
+                            "--changed-only"]) == 0
+        # ...with it, the committed branch delta is.
+        out = repo / "report.json"
+        assert gclint_main([str(repo), "--no-baseline", "--changed-only",
+                            "--diff-base", base,
+                            "--json", str(out)]) == 1
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["reported_paths"] == [
+            (repo / "cache" / "new.py").as_posix()
+        ]
+
+    def test_without_git_falls_back_to_full_tree(self, tmp_path,
+                                                 monkeypatch, capsys):
+        _write(tmp_path, "cache/pick.py", self.VIOLATION)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "not-a-git-dir"))
+        assert gclint_main([str(tmp_path), "--no-baseline",
+                            "--changed-only"]) == 1
+        err = capsys.readouterr().err
+        assert "falling back to the full tree" in err
+
+
+# ----------------------------------------------------------------------
+# Flow-aware rule precision: things that must NOT fire
+# ----------------------------------------------------------------------
+class TestFlowPrecision:
+    def test_sequential_acquire_release_is_not_an_upgrade(self, tmp_path):
+        # read, release, then write — no hold overlaps, nothing fires.
+        _write(tmp_path, "cache/seq.py", """\
+            class Manager:
+                def __init__(self, lock):
+                    self.lock = lock
+
+                def refresh(self):
+                    with self.lock.read():
+                        snapshot = 1
+                    with self.lock.write():
+                        return snapshot
+            """)
+        report = run_analysis([tmp_path])
+        assert [f for f in report.findings
+                if f.rule_id in ("GC102", "GC110")] == []
+
+    def test_write_then_nested_read_is_legal(self, tmp_path):
+        # Downgrade-shaped nesting: write outer, read inner.  RWLock
+        # write holds subsume reads; neither GC101 nor GC110 applies.
+        _write(tmp_path, "cache/nest.py", """\
+            class Manager:
+                def __init__(self, lock):
+                    self.lock = lock
+
+                def rebuild(self):
+                    with self.lock.write():
+                        with self.lock.read():
+                            return 1
+            """)
+        report = run_analysis([tmp_path])
+        assert [f for f in report.findings
+                if f.rule_id in ("GC101", "GC110")] == []
+
+    def test_blocking_under_read_hold_is_sanctioned(self, tmp_path):
+        # The serving model does I/O under read holds by design: GC111
+        # only polices the write side.
+        _write(tmp_path, "cache/serve.py", """\
+            class Manager:
+                def __init__(self, lock, conn):
+                    self.lock = lock
+                    self.conn = conn
+
+                def answer(self, payload):
+                    with self.lock.read():
+                        self.conn.send(payload)
+            """)
+        report = run_analysis([tmp_path])
+        assert [f for f in report.findings if f.rule_id == "GC111"] == []
+
+    def test_interprocedural_blocking_needs_a_write_caller(self, tmp_path):
+        # Same helper, two call chains: only the write-held one flags,
+        # and the message names the caller that holds the lock.
+        _write(tmp_path, "cache/chain.py", """\
+            import time
+
+
+            class Manager:
+                def __init__(self, lock):
+                    self.lock = lock
+
+                def under_write(self):
+                    with self.lock.write():
+                        return self._work()
+
+                def _work(self):
+                    time.sleep(0.01)
+                    return 1
+            """)
+        report = run_analysis([tmp_path])
+        (hit,) = [f for f in report.findings if f.rule_id == "GC111"]
+        assert "Manager.under_write" in hit.message
+
+    def test_guarded_mutation_of_tracked_class_is_clean(self, tmp_path):
+        _write(tmp_path, "cache/guarded.py", """\
+            class CacheManager:
+                def __init__(self, lock):
+                    self.lock = lock
+                    self.epoch = 0
+
+                def bump(self):
+                    with self.lock.write():
+                        self.epoch += 1
+
+                def refresh(self):
+                    return self.bump()
+            """)
+        report = run_analysis([tmp_path])
+        assert [f for f in report.findings if f.rule_id == "GC120"] == []
+
+    def test_unreachable_mutation_is_not_guessed_at(self, tmp_path):
+        # No resolved caller → must-held is ⊤ (unknown): GC120 stays
+        # quiet rather than flagging code it cannot reason about.
+        _write(tmp_path, "cache/orphan.py", """\
+            class CacheManager:
+                def __init__(self):
+                    self.epoch = 0
+
+                def bump(self):
+                    self.epoch += 1
+            """)
+        report = run_analysis([tmp_path])
+        assert [f for f in report.findings if f.rule_id == "GC120"] == []
+
+    def test_untracked_class_mutation_is_ignored(self, tmp_path):
+        _write(tmp_path, "cache/other.py", """\
+            class Scratchpad:
+                def __init__(self):
+                    self.total = 0
+
+                def bump(self):
+                    self.total += 1
+
+                def refresh(self):
+                    return self.bump()
+            """)
+        report = run_analysis([tmp_path])
+        assert [f for f in report.findings if f.rule_id == "GC120"] == []
+
+    def test_full_tree_run_stays_fast(self):
+        # Acceptance bound: flow analysis over the whole tree < 10s.
+        sw = Stopwatch()
+        with sw:
+            run_analysis([SRC])
+        assert sw.elapsed < 10.0, f"gclint took {sw.elapsed:.1f}s"
 
 
 # ----------------------------------------------------------------------

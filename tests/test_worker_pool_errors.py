@@ -1,0 +1,165 @@
+"""WorkerPool/worker_main error paths — the protocol edges GC310
+reasons about statically, exercised for real.
+
+The worker loop's promises under fire:
+
+* an unknown command gets an ``("err", …)`` reply, never a crash;
+* a failing delta **poisons** the replica: later verifies report the
+  stored error (instead of silently diverging) until a re-seed;
+* a worker dying mid-conversation surfaces as a :class:`WorkerError`
+  naming the worker and its exit code — not a hang on a dead pipe.
+
+The loop itself is start-method agnostic, so the reply-protocol tests
+drive :func:`worker_main` in a plain thread over a multiprocessing pipe
+(no spawn cost); the death tests use a real spawned pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import threading
+
+import pytest
+
+from repro.dataset.store import GraphStore
+from repro.graphs import io as graph_io
+from repro.graphs.generators import random_labeled_graph
+from repro.persist import encode_store
+from repro.runtime.worker_pool import WorkerError, WorkerPool, worker_main
+
+RECV_TIMEOUT = 10.0     # any reply slower than this is "a hang"
+
+
+def _population(count: int = 4) -> GraphStore:
+    rng = random.Random(5)
+    graphs = [random_labeled_graph(5, 0.4, ["A", "B"], rng)
+              for _ in range(count)]
+    return GraphStore.from_graphs(graphs)
+
+
+def _query_text() -> str:
+    return graph_io.dumps([(0, random_labeled_graph(2, 1.0, ["A"],
+                                                    random.Random(9)))])
+
+
+def _recv(conn):
+    assert conn.poll(RECV_TIMEOUT), "worker sent no reply (hang?)"
+    return conn.recv()
+
+
+# ----------------------------------------------------------------------
+# Reply protocol: worker_main in a thread
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def worker_conn():
+    parent, child = multiprocessing.Pipe(duplex=True)
+    thread = threading.Thread(target=worker_main, args=(child,),
+                              daemon=True)
+    thread.start()
+    yield parent
+    try:
+        parent.send(("close",))
+    except (BrokenPipeError, OSError):
+        pass
+    thread.join(timeout=RECV_TIMEOUT)
+    assert not thread.is_alive(), "worker loop failed to exit on close"
+    parent.close()
+
+
+class TestReplyProtocol:
+    def _seed(self, conn, store) -> None:
+        conn.send(("seed", "vf2", encode_store(store)))
+        assert _recv(conn) == ("ok",)
+
+    def test_unknown_command_gets_err_reply(self, worker_conn):
+        worker_conn.send(("frobnicate",))
+        tag, detail = _recv(worker_conn)
+        assert tag == "err"
+        assert "unknown command 'frobnicate'" in detail
+
+    def test_verify_before_seed_is_err(self, worker_conn):
+        worker_conn.send(("verify", _query_text(), [0], 4, True))
+        assert _recv(worker_conn) == ("err", "verify before seed")
+
+    def test_bad_delta_poisons_until_reseed(self, worker_conn):
+        store = _population()
+        self._seed(worker_conn, store)
+
+        # A delta for a graph the replica doesn't hold fails to apply;
+        # there is no ack, the failure must show on the NEXT verify.
+        worker_conn.send(("delta", [("del", 999)]))
+        worker_conn.send(("verify", _query_text(), [0, 1], 4, True))
+        tag, detail = _recv(worker_conn)
+        assert tag == "err"
+        assert detail.startswith("replica poisoned:")
+        assert "KeyError" in detail
+
+        # Poison sticks: further deltas are skipped (not crashed on)
+        # and further verifies keep refusing.
+        worker_conn.send(("delta", [("del", 0)]))
+        worker_conn.send(("verify", _query_text(), [0], 4, True))
+        tag, detail = _recv(worker_conn)
+        assert tag == "err" and detail.startswith("replica poisoned:")
+
+        # Re-seeding is the documented recovery: poison clears and
+        # verify answers again.
+        self._seed(worker_conn, store)
+        worker_conn.send(("verify", _query_text(), [0, 1], 4, True))
+        reply = _recv(worker_conn)
+        assert reply[0] == "result" and reply[2] == 2   # tests ran
+
+    def test_unknown_delta_op_poisons_with_the_op_name(self, worker_conn):
+        self._seed(worker_conn, _population())
+        worker_conn.send(("delta", [("frob", 1)]))
+        worker_conn.send(("verify", _query_text(), [0], 4, True))
+        tag, detail = _recv(worker_conn)
+        assert tag == "err"
+        assert "unknown delta op 'frob'" in detail
+
+
+# ----------------------------------------------------------------------
+# Parent-side failure surfacing: a real spawned pool
+# ----------------------------------------------------------------------
+class TestPoolFailures:
+    def test_poisoned_replica_fails_verify_with_workererror(self):
+        pool = WorkerPool(1, "vf2")
+        try:
+            pool.start(encode_store(_population()))
+            pool.broadcast_delta([("del", 999)])
+            with pytest.raises(WorkerError,
+                               match="replica poisoned.*KeyError"):
+                pool.verify(_query_text(), [[0, 1]], 4, True)
+        finally:
+            pool.close()
+
+    def test_seed_failure_names_the_worker(self):
+        pool = WorkerPool(1, "no-such-matcher")
+        try:
+            with pytest.raises(WorkerError,
+                               match="worker 0 failed to seed"):
+                pool.start(encode_store(_population()))
+        finally:
+            pool.close()
+
+    def test_worker_death_mid_recv_is_a_clear_error_not_a_hang(self):
+        pool = WorkerPool(1, "vf2")
+        try:
+            pool.start(encode_store(_population()))
+            proc = pool._procs[0]
+            proc.terminate()
+            proc.join(timeout=RECV_TIMEOUT)
+            with pytest.raises(WorkerError,
+                               match=r"worker 0 .* died: exitcode="):
+                pool._recv(0)
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_after_worker_death(self):
+        pool = WorkerPool(1, "vf2")
+        pool.start(encode_store(_population()))
+        pool._procs[0].terminate()
+        pool._procs[0].join(timeout=RECV_TIMEOUT)
+        pool.close()
+        pool.close()    # second close must be a no-op
+        assert pool._procs == [] and pool._conns == []
